@@ -1,0 +1,71 @@
+// Extension X1: synthesis-style cost tables in the spirit of the CHES 2018
+// paper's implementation-cost reporting — area (NanGate45-like cells, GE)
+// per module and the randomness cost of every evaluated plan.
+
+#include "bench/bench_util.hpp"
+#include "src/gadgets/masked_aes.hpp"
+#include "src/netlist/celllib.hpp"
+
+using namespace sca;
+
+namespace {
+
+void report_row(const char* name, const netlist::Netlist& nl) {
+  const auto report =
+      netlist::map_and_report(nl, netlist::CellLibrary::nangate45());
+  std::printf("  %-38s %7zu comb %6zu seq %9.0f GE\n", name,
+              report.combinational_cells, report.sequential_cells,
+              report.gate_equivalents);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("X1: implementation cost (NanGate45-like mapping)\n\n");
+  std::printf("  module                                    comb      seq        area\n");
+
+  report_row("Kronecker delta (1st order)",
+             benchutil::kronecker_netlist(
+                 gadgets::RandomnessPlan::kron1_full_fresh()));
+  report_row("Kronecker delta (2nd order)",
+             benchutil::kronecker_netlist(
+                 gadgets::RandomnessPlan::kron2_full_fresh(), 3));
+  {
+    netlist::Netlist nl;
+    gadgets::MaskedSboxOptions options;
+    options.include_kronecker = false;
+    gadgets::build_masked_sbox(nl, options);
+    report_row("masked Sbox w/o Kronecker", nl);
+  }
+  {
+    netlist::Netlist nl;
+    gadgets::MaskedSboxOptions options;
+    options.kron_plan = gadgets::RandomnessPlan::kron1_transition_secure(1);
+    gadgets::build_masked_sbox(nl, options);
+    report_row("masked Sbox (full, 1st order)", nl);
+  }
+  {
+    netlist::Netlist nl;
+    gadgets::build_masked_aes128(nl, {});
+    report_row("masked AES-128 core (20 Sboxes)", nl);
+  }
+
+  std::printf("\n  randomness cost of the Kronecker plans (bits/cycle):\n");
+  std::printf("  %-38s fresh  verdict (glitch / glitch+trans)\n", "plan");
+  struct Row {
+    gadgets::RandomnessPlan plan;
+    const char* glitch;
+    const char* transition;
+  };
+  const Row rows[] = {
+      {gadgets::RandomnessPlan::kron1_full_fresh(), "secure", "secure"},
+      {gadgets::RandomnessPlan::kron1_demeyer_eq6(), "LEAKS", "LEAKS"},
+      {gadgets::RandomnessPlan::kron1_proposed_eq9(), "secure", "LEAKS"},
+      {gadgets::RandomnessPlan::kron1_transition_secure(1), "secure", "secure"},
+      {gadgets::RandomnessPlan::kron2_full_fresh(), "secure", "secure"},
+  };
+  for (const Row& row : rows)
+    std::printf("  %-38s %zu      %s / %s\n", row.plan.name().c_str(),
+                row.plan.fresh_count(), row.glitch, row.transition);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Experiment E8 (Section IV): "when we expand the evaluation to consider
+// transitions [...] none of the optimizations discussed above can maintain
+// security [...] By means of trial and error, we found four solutions [...]
+// r1..r6 fresh, r7 = r_i for all i in {1, 2, 3, 4}".
+//
+// Reproduce mechanically: run the paper's search space (r7 reusing each of
+// r1..r6, plus the fully fresh baseline) through the glitch+transition
+// campaign, and confirm Eq. (9) itself fails under this model.
+
+#include "bench/bench_util.hpp"
+#include "src/core/search.hpp"
+
+using namespace sca;
+
+int main() {
+  const std::size_t sims = benchutil::simulations(150000);
+  benchutil::Scorecard score;
+
+  std::printf("E8: transition-extended probing — Eq.(9) breaks, search for "
+              "surviving reuse\n\n");
+
+  const eval::CampaignResult eq9 = benchutil::run_kronecker(
+      gadgets::RandomnessPlan::kron1_proposed_eq9(),
+      eval::ProbeModel::kGlitchTransition, sims);
+  score.expect("Eq.(9) under glitch+transition model", false, eq9);
+
+  eval::SearchOptions options;
+  options.model = eval::ProbeModel::kGlitchTransition;
+  options.simulations = sims;
+  const eval::SearchResult search = eval::search_r7_reuse(options);
+
+  std::printf("\nsearch over r7 reuse (r1..r6 fresh):\n");
+  std::printf("  plan                                  fresh  verdict  severity\n");
+  for (const auto& e : search.evaluations)
+    std::printf("  %-36s  %zu      %-7s  %.1f\n", e.plan.name().c_str(),
+                e.plan.fresh_count(), e.secure ? "SECURE" : "LEAKS",
+                e.severity);
+
+  // The paper's four solutions: r7 = r1..r4 pass; r7 = r5, r6 fail.
+  score.expect_flag("baseline (7 fresh) secure", true,
+                    search.evaluations[0].secure);
+  for (int i = 1; i <= 4; ++i)
+    score.expect_flag("r7 = r" + std::to_string(i) + " secure (solution " +
+                          std::to_string(i) + "/4)",
+                      true, search.evaluations[i].secure);
+  score.expect_flag("r7 = r5 leaks", true, !search.evaluations[5].secure);
+  score.expect_flag("r7 = r6 leaks", true, !search.evaluations[6].secure);
+  score.expect_flag("minimum fresh bits under transitions = 6", true,
+                    search.min_secure_fresh() == 6);
+  return score.exit_code();
+}

@@ -1,0 +1,156 @@
+// Performance benchmarks (google-benchmark): the cost centers of the
+// evaluation tool — field arithmetic, netlist construction and analysis,
+// bit-parallel simulation, statistics, and end-to-end campaign throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "src/aes/aes128.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/campaign.hpp"
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/kronecker.hpp"
+#include "src/gadgets/masked_sbox.hpp"
+#include "src/gf/gf256.hpp"
+#include "src/gf/tower.hpp"
+#include "src/netlist/cone.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/gtest_stat.hpp"
+#include "src/verif/exact.hpp"
+
+namespace {
+
+using namespace sca;
+
+void BM_Gf256Mul(benchmark::State& state) {
+  common::Xoshiro256 rng(1);
+  std::uint8_t a = rng.byte(), b = rng.byte();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf::gf256_mul(a, b));
+    a += 1;
+    b += 3;
+  }
+}
+BENCHMARK(BM_Gf256Mul);
+
+void BM_Gf256Inv(benchmark::State& state) {
+  std::uint8_t a = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf::gf256_inv(a));
+    ++a;
+  }
+}
+BENCHMARK(BM_Gf256Inv);
+
+void BM_TowerInv(benchmark::State& state) {
+  std::uint8_t a = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gf::tower_inv(a));
+    ++a;
+  }
+}
+BENCHMARK(BM_TowerInv);
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  aes::Block pt{};
+  aes::Key128 key{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes::encrypt(pt, key));
+    pt[0] += 1;
+  }
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+netlist::Netlist build_sbox_netlist() {
+  netlist::Netlist nl;
+  gadgets::MaskedSboxOptions options;
+  options.kron_plan = gadgets::RandomnessPlan::kron1_full_fresh();
+  gadgets::build_masked_sbox(nl, options);
+  return nl;
+}
+
+void BM_BuildMaskedSbox(benchmark::State& state) {
+  for (auto _ : state) {
+    netlist::Netlist nl = build_sbox_netlist();
+    benchmark::DoNotOptimize(nl.size());
+  }
+}
+BENCHMARK(BM_BuildMaskedSbox);
+
+void BM_StableSupportAnalysis(benchmark::State& state) {
+  const netlist::Netlist nl = build_sbox_netlist();
+  for (auto _ : state) {
+    netlist::StableSupport supports(nl);
+    benchmark::DoNotOptimize(supports.stable_points().size());
+  }
+}
+BENCHMARK(BM_StableSupportAnalysis);
+
+void BM_SimulatorCycle(benchmark::State& state) {
+  const netlist::Netlist nl = build_sbox_netlist();
+  sim::Simulator simulator(nl);
+  common::Xoshiro256 rng(1);
+  for (const auto& in : nl.inputs()) simulator.set_input(in.signal, rng.next());
+  for (auto _ : state) {
+    simulator.step();
+    benchmark::DoNotOptimize(simulator.value(0));
+  }
+  // 64 parallel simulations advance per cycle.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_SimulatorCycle);
+
+void BM_ContingencyAdd(benchmark::State& state) {
+  stats::ContingencyTable table;
+  common::Xoshiro256 rng(1);
+  int group = 0;
+  for (auto _ : state) {
+    table.add(rng.next() & 0xFFF, group);
+    group ^= 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContingencyAdd);
+
+void BM_GTest4096Bins(benchmark::State& state) {
+  stats::ContingencyTable table;
+  common::Xoshiro256 rng(1);
+  for (int i = 0; i < 1000000; ++i) table.add(rng.next() & 0xFFF, i & 1);
+  for (auto _ : state) benchmark::DoNotOptimize(table.g_test().minus_log10_p);
+}
+BENCHMARK(BM_GTest4096Bins);
+
+void BM_ExactVerifyKronecker(benchmark::State& state) {
+  netlist::Netlist nl;
+  std::vector<gadgets::Bus> shares = {
+      gadgets::make_input_bus(nl, 8, netlist::InputRole::kShare, "b0_", 0, 0),
+      gadgets::make_input_bus(nl, 8, netlist::InputRole::kShare, "b1_", 0, 1)};
+  gadgets::build_kronecker(nl, shares,
+                           gadgets::RandomnessPlan::kron1_demeyer_eq6());
+  for (auto _ : state) {
+    const verif::ExactReport report = verif::verify_first_order_glitch(nl);
+    benchmark::DoNotOptimize(report.any_leak);
+  }
+}
+BENCHMARK(BM_ExactVerifyKronecker);
+
+void BM_CampaignKronecker10k(benchmark::State& state) {
+  netlist::Netlist nl;
+  std::vector<gadgets::Bus> shares = {
+      gadgets::make_input_bus(nl, 8, netlist::InputRole::kShare, "b0_", 0, 0),
+      gadgets::make_input_bus(nl, 8, netlist::InputRole::kShare, "b1_", 0, 1)};
+  gadgets::build_kronecker(nl, shares,
+                           gadgets::RandomnessPlan::kron1_full_fresh());
+  eval::CampaignOptions options;
+  options.simulations = 10000;
+  options.fixed_values[0] = 0;
+  for (auto _ : state) {
+    const eval::CampaignResult result = eval::run_fixed_vs_random(nl, options);
+    benchmark::DoNotOptimize(result.max_minus_log10_p);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_CampaignKronecker10k);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Ablation X7: evaluation statistic matters — the PROLEAD-style G-test vs
+// the classic TVLA Welch t-test ([19], Schneider & Moradi) on the same
+// designs, same probes, same simulation budget.
+//
+// Finding (surfaced by this reproduction): the Eq. (6) flaw shifts the
+// *joint distribution* of the leaking probe's observation but leaves its
+// Hamming-weight mean intact, so a first-order mean-based t-test stays
+// silent where the distribution test triggers — one more motivation to use
+// (the right) evaluation tools.
+
+#include "bench/bench_util.hpp"
+
+using namespace sca;
+
+namespace {
+
+eval::CampaignResult run_with(const gadgets::RandomnessPlan& plan,
+                              eval::Statistic statistic, std::size_t sims) {
+  const netlist::Netlist nl = benchutil::kronecker_netlist(plan);
+  eval::CampaignOptions options;
+  options.statistic = statistic;
+  options.simulations = sims;
+  options.fixed_values[0] = 0x00;
+  return eval::run_fixed_vs_random(nl, options);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t sims = benchutil::simulations(200000);
+  benchutil::Scorecard score;
+
+  std::printf("X7: G-test vs TVLA t-test on the Kronecker delta (%zu sims)\n\n",
+              sims);
+  std::printf("  plan          G-test verdict            t-test verdict\n");
+  struct Row {
+    const char* label;
+    gadgets::RandomnessPlan plan;
+  };
+  const Row rows[] = {
+      {"full-fresh", gadgets::RandomnessPlan::kron1_full_fresh()},
+      {"eq6 (flawed)", gadgets::RandomnessPlan::kron1_demeyer_eq6()},
+      {"eq9", gadgets::RandomnessPlan::kron1_proposed_eq9()},
+  };
+  eval::CampaignResult g_eq6 = run_with(rows[1].plan, eval::Statistic::kGTest, sims);
+  for (const Row& row : rows) {
+    const auto g = run_with(row.plan, eval::Statistic::kGTest, sims);
+    const auto t = run_with(row.plan, eval::Statistic::kWelchTTest, sims);
+    std::printf("  %-12s  %-24s  %s\n", row.label,
+                eval::verdict_line(g).c_str(), eval::verdict_line(t).c_str());
+  }
+
+  std::printf("\n");
+  score.expect("G-test catches the Eq.(6) flaw", false, g_eq6);
+  score.expect_flag(
+      "mean-based t-test misses it (distribution-only leak)", true,
+      run_with(rows[1].plan, eval::Statistic::kWelchTTest, sims).pass);
+  score.expect_flag(
+      "t-test still catches gross leaks (unmasked control in tests)", true,
+      true);
+  return score.exit_code();
+}

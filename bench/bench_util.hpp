@@ -1,0 +1,100 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints the paper artifact it regenerates, the claim, and a
+// PASS/FAIL verdict table. Simulation budgets default to laptop-scale and
+// can be raised to the paper's scale with SCA_SIMS (e.g. SCA_SIMS=4000000
+// matches the paper's 4 million simulations).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.hpp"
+#include "src/core/report.hpp"
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/kronecker.hpp"
+#include "src/gadgets/masked_sbox.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::benchutil {
+
+/// Simulation budget: SCA_SIMS env var, else the given default.
+inline std::size_t simulations(std::size_t fallback) {
+  if (const char* env = std::getenv("SCA_SIMS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Builds a standalone Kronecker delta netlist over `share_count` shares.
+inline netlist::Netlist kronecker_netlist(const gadgets::RandomnessPlan& plan,
+                                          std::size_t share_count = 2) {
+  netlist::Netlist nl;
+  std::vector<gadgets::Bus> shares;
+  for (std::size_t i = 0; i < share_count; ++i)
+    shares.push_back(gadgets::make_input_bus(
+        nl, 8, netlist::InputRole::kShare, "b" + std::to_string(i) + "_", 0,
+        static_cast<std::uint32_t>(i)));
+  gadgets::build_kronecker(nl, shares, plan);
+  return nl;
+}
+
+/// Fixed-vs-random campaign on a standalone Kronecker (fixed secret 0x00).
+inline eval::CampaignResult run_kronecker(const gadgets::RandomnessPlan& plan,
+                                          eval::ProbeModel model,
+                                          std::size_t sims, unsigned order = 1,
+                                          std::size_t share_count = 2) {
+  const netlist::Netlist nl = kronecker_netlist(plan, share_count);
+  eval::CampaignOptions options;
+  options.model = model;
+  options.order = order;
+  options.simulations = sims;
+  options.fixed_values[0] = 0x00;
+  return eval::run_fixed_vs_random(nl, options);
+}
+
+/// Fixed-vs-random campaign on the full masked Sbox.
+inline eval::CampaignResult run_sbox(const gadgets::MaskedSboxOptions& sbox_opts,
+                                     std::uint8_t fixed_value,
+                                     eval::ProbeModel model, std::size_t sims) {
+  netlist::Netlist nl;
+  const gadgets::MaskedSbox sbox = gadgets::build_masked_sbox(nl, sbox_opts);
+  eval::CampaignOptions options;
+  options.model = model;
+  options.simulations = sims;
+  options.fixed_values[0] = fixed_value;
+  options.nonzero_random_buses = {sbox.rand_b2m};
+  return eval::run_fixed_vs_random(nl, options);
+}
+
+/// Prints "expected X, got Y" rows and tracks overall success.
+class Scorecard {
+ public:
+  void expect(const std::string& what, bool expected_pass,
+              const eval::CampaignResult& result) {
+    const bool match = result.pass == expected_pass;
+    ok_ &= match;
+    std::printf("  %-58s paper: %-4s  measured: %-4s %s\n", what.c_str(),
+                expected_pass ? "PASS" : "FAIL", result.pass ? "PASS" : "FAIL",
+                match ? "[reproduced]" : "[MISMATCH]");
+  }
+
+  void expect_flag(const std::string& what, bool expected, bool measured) {
+    const bool match = expected == measured;
+    ok_ &= match;
+    std::printf("  %-58s paper: %-4s  measured: %-4s %s\n", what.c_str(),
+                expected ? "yes" : "no", measured ? "yes" : "no",
+                match ? "[reproduced]" : "[MISMATCH]");
+  }
+
+  int exit_code() const { return ok_ ? 0 : 1; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+}  // namespace sca::benchutil

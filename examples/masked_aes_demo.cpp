@@ -1,0 +1,86 @@
+// Runs the complete gate-level first-order masked AES-128 core on the
+// FIPS-197 appendix-B vector: shares the plaintext and key, clocks the
+// netlist for 61 cycles feeding fresh randomness every cycle, recombines the
+// ciphertext shares and checks against the reference software AES. Also
+// prints the synthesis-style cost report (NanGate45-like cells, GE).
+//
+//   $ ./masked_aes_demo
+
+#include <cstdio>
+
+#include "src/aes/aes128.hpp"
+#include "src/common/rng.hpp"
+#include "src/gadgets/masked_aes.hpp"
+#include "src/gadgets/sharing.hpp"
+#include "src/netlist/celllib.hpp"
+#include "src/netlist/ir.hpp"
+#include "src/sim/simulator.hpp"
+
+using namespace sca;
+
+int main() {
+  netlist::Netlist nl;
+  const gadgets::MaskedAes core = gadgets::build_masked_aes128(nl, {});
+  std::printf("masked AES-128 core: %zu gates (%zu registers), %zu random "
+              "input bits/cycle\n",
+              nl.size(), nl.registers().size(), nl.random_input_count());
+
+  const aes::Block pt = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                         0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const aes::Key128 key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+  sim::Simulator simulator(nl);
+  common::Xoshiro256 rng(2025);
+  for (std::size_t byte = 0; byte < 16; ++byte) {
+    const auto pt_sh = gadgets::boolean_share(pt[byte], 2, rng);
+    const auto key_sh = gadgets::boolean_share(key[byte], 2, rng);
+    for (std::size_t share = 0; share < 2; ++share) {
+      gadgets::set_bus_all_lanes(simulator, core.pt[share][byte], pt_sh[share]);
+      gadgets::set_bus_all_lanes(simulator, core.key[share][byte], key_sh[share]);
+    }
+  }
+
+  for (std::size_t cycle = 0; cycle < core.total_cycles; ++cycle) {
+    // Fresh masks every cycle: uniform bits everywhere, non-zero bytes on
+    // the 20 B2M mask buses.
+    for (const auto& in : nl.inputs())
+      if (in.role == netlist::InputRole::kRandom)
+        simulator.set_input(in.signal, rng.next());
+    for (const auto& bus : core.nonzero_random_buses)
+      gadgets::set_bus_all_lanes(simulator, bus, rng.nonzero_byte());
+    simulator.step();
+  }
+  simulator.settle();
+
+  std::printf("done flag: %d (after %zu cycles)\n",
+              static_cast<int>(simulator.value_in_lane(core.done, 0)),
+              core.total_cycles);
+
+  aes::Block ct{}, share0{}, share1{};
+  for (std::size_t byte = 0; byte < 16; ++byte) {
+    share0[byte] = static_cast<std::uint8_t>(
+        gadgets::read_bus_lane(simulator, core.ct[0][byte], 0));
+    share1[byte] = static_cast<std::uint8_t>(
+        gadgets::read_bus_lane(simulator, core.ct[1][byte], 0));
+    ct[byte] = share0[byte] ^ share1[byte];
+  }
+
+  auto print_block = [](const char* label, const aes::Block& b) {
+    std::printf("%-18s", label);
+    for (std::uint8_t v : b) std::printf("%02x", v);
+    std::printf("\n");
+  };
+  print_block("ciphertext share0:", share0);
+  print_block("ciphertext share1:", share1);
+  print_block("recombined:", ct);
+  const aes::Block expected = aes::encrypt(pt, key);
+  print_block("reference:", expected);
+  std::printf("match: %s\n", ct == expected ? "yes" : "NO");
+
+  std::printf("\ncost report (NanGate45-like):\n%s",
+              to_string(netlist::map_and_report(
+                            nl, netlist::CellLibrary::nangate45()))
+                  .c_str());
+  return ct == expected ? 0 : 1;
+}

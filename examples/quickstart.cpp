@@ -1,0 +1,73 @@
+// Quickstart: build a first-order DOM-AND gadget, check it functionally,
+// then evaluate it with both engines — the exact enumerative verifier and
+// the PROLEAD-style fixed-vs-random sampling campaign.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the library's public API:
+//   netlist::Netlist        gate-level circuit IR
+//   gadgets::build_dom_and  masked gadget builders
+//   verif::*                exact glitch-extended probing verification
+//   eval::*                 PROLEAD-style statistical evaluation
+
+#include <cstdio>
+
+#include "src/core/campaign.hpp"
+#include "src/core/report.hpp"
+#include "src/gadgets/dom.hpp"
+#include "src/netlist/ir.hpp"
+#include "src/verif/exact.hpp"
+
+using namespace sca;
+
+int main() {
+  // 1. Build a netlist with two 1-bit secrets, each split in two shares,
+  //    and one fresh mask bit.
+  netlist::Netlist nl;
+  std::vector<netlist::SignalId> x = {
+      nl.add_input(netlist::InputRole::kShare, "x_s0", {0, 0, 0}),
+      nl.add_input(netlist::InputRole::kShare, "x_s1", {0, 1, 0})};
+  std::vector<netlist::SignalId> y = {
+      nl.add_input(netlist::InputRole::kShare, "y_s0", {1, 0, 0}),
+      nl.add_input(netlist::InputRole::kShare, "y_s1", {1, 1, 0})};
+  std::vector<netlist::SignalId> mask = {
+      nl.add_input(netlist::InputRole::kRandom, "r")};
+
+  // 2. Instantiate a DOM-indep AND gadget: z = x & y on shares.
+  const gadgets::DomAnd gadget = gadgets::build_dom_and(nl, x, y, mask, "dom");
+  nl.add_output("z0", gadget.out[0]);
+  nl.add_output("z1", gadget.out[1]);
+  std::printf("built DOM-AND: %zu gates, %zu registers, %zu random bits\n",
+              nl.size(), nl.registers().size(), nl.random_input_count());
+
+  // 3. Exact verification: enumerate every share/mask assignment and check
+  //    that no glitch-extended probe's distribution depends on the secrets.
+  const verif::ExactReport exact = verif::verify_first_order_glitch(nl);
+  std::printf("exact verifier: %s (%zu unique probes)\n",
+              exact.any_leak ? "LEAKS" : "secure", exact.probes_total);
+
+  // 4. Statistical evaluation, PROLEAD style: fixed-vs-random G-test.
+  eval::CampaignOptions options;
+  options.simulations = 100000;
+  options.fixed_values[0] = 1;  // fixed group: x = 1, y = 1
+  options.fixed_values[1] = 1;
+  const eval::CampaignResult campaign = eval::run_fixed_vs_random(nl, options);
+  std::printf("%s", to_string(campaign, 5).c_str());
+
+  // 5. Negative control: the same gadget with the mask tied to constant zero
+  //    must be flagged by both engines.
+  netlist::Netlist broken;
+  std::vector<netlist::SignalId> bx = {
+      broken.add_input(netlist::InputRole::kShare, "x_s0", {0, 0, 0}),
+      broken.add_input(netlist::InputRole::kShare, "x_s1", {0, 1, 0})};
+  std::vector<netlist::SignalId> by = {
+      broken.add_input(netlist::InputRole::kShare, "y_s0", {1, 0, 0}),
+      broken.add_input(netlist::InputRole::kShare, "y_s1", {1, 1, 0})};
+  gadgets::build_dom_and(broken, bx, by, {broken.constant(false)}, "dom");
+  const verif::ExactReport broken_exact = verif::verify_first_order_glitch(broken);
+  std::printf("negative control (mask = 0): %s\n",
+              broken_exact.any_leak ? "LEAKS as expected" : "UNEXPECTEDLY secure");
+
+  return (exact.any_leak || campaign.pass == false || !broken_exact.any_leak) ? 1
+                                                                              : 0;
+}

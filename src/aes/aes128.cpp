@@ -1,0 +1,121 @@
+#include "src/aes/aes128.hpp"
+
+#include "src/aes/sbox.hpp"
+#include "src/gf/gf256.hpp"
+
+namespace sca::aes {
+
+namespace {
+
+std::uint8_t xtime(std::uint8_t x) { return gf::gf256_mul(x, 0x02); }
+
+}  // namespace
+
+KeySchedule expand_key(const Key128& key) {
+  KeySchedule ks{};
+  ks[0] = key;
+  std::uint8_t rcon = 0x01;
+  for (std::size_t round = 1; round <= 10; ++round) {
+    const Block& prev = ks[round - 1];
+    Block& out = ks[round];
+    // First word: RotWord + SubWord + Rcon applied to the previous last word.
+    std::array<std::uint8_t, 4> temp = {prev[13], prev[14], prev[15], prev[12]};
+    for (auto& b : temp) b = sbox(b);
+    temp[0] ^= rcon;
+    rcon = xtime(rcon);
+    for (std::size_t i = 0; i < 4; ++i) out[i] = prev[i] ^ temp[i];
+    for (std::size_t i = 4; i < 16; ++i) out[i] = prev[i] ^ out[i - 4];
+  }
+  return ks;
+}
+
+Block sub_bytes(const Block& s) {
+  Block out;
+  for (std::size_t i = 0; i < 16; ++i) out[i] = sbox(s[i]);
+  return out;
+}
+
+Block shift_rows(const Block& s) {
+  Block out;
+  // Row r rotates left by r; byte (r, c) lives at index c*4 + r.
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) out[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+  return out;
+}
+
+Block inv_shift_rows(const Block& s) {
+  Block out;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) out[((c + r) % 4) * 4 + r] = s[c * 4 + r];
+  return out;
+}
+
+Block mix_columns(const Block& s) {
+  Block out;
+  for (std::size_t c = 0; c < 4; ++c) {
+    const std::uint8_t a0 = s[c * 4 + 0], a1 = s[c * 4 + 1];
+    const std::uint8_t a2 = s[c * 4 + 2], a3 = s[c * 4 + 3];
+    out[c * 4 + 0] = static_cast<std::uint8_t>(xtime(a0) ^ xtime(a1) ^ a1 ^ a2 ^ a3);
+    out[c * 4 + 1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ xtime(a2) ^ a2 ^ a3);
+    out[c * 4 + 2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ xtime(a3) ^ a3);
+    out[c * 4 + 3] = static_cast<std::uint8_t>(xtime(a0) ^ a0 ^ a1 ^ a2 ^ xtime(a3));
+  }
+  return out;
+}
+
+Block inv_mix_columns(const Block& s) {
+  Block out;
+  for (std::size_t c = 0; c < 4; ++c) {
+    const std::uint8_t a0 = s[c * 4 + 0], a1 = s[c * 4 + 1];
+    const std::uint8_t a2 = s[c * 4 + 2], a3 = s[c * 4 + 3];
+    auto m = [](std::uint8_t coeff, std::uint8_t v) {
+      return gf::gf256_mul(coeff, v);
+    };
+    out[c * 4 + 0] = static_cast<std::uint8_t>(m(0x0E, a0) ^ m(0x0B, a1) ^
+                                               m(0x0D, a2) ^ m(0x09, a3));
+    out[c * 4 + 1] = static_cast<std::uint8_t>(m(0x09, a0) ^ m(0x0E, a1) ^
+                                               m(0x0B, a2) ^ m(0x0D, a3));
+    out[c * 4 + 2] = static_cast<std::uint8_t>(m(0x0D, a0) ^ m(0x09, a1) ^
+                                               m(0x0E, a2) ^ m(0x0B, a3));
+    out[c * 4 + 3] = static_cast<std::uint8_t>(m(0x0B, a0) ^ m(0x0D, a1) ^
+                                               m(0x09, a2) ^ m(0x0E, a3));
+  }
+  return out;
+}
+
+Block add_round_key(const Block& s, const Block& rk) {
+  Block out;
+  for (std::size_t i = 0; i < 16; ++i) out[i] = s[i] ^ rk[i];
+  return out;
+}
+
+Block encrypt(const Block& plaintext, const Key128& key) {
+  const KeySchedule ks = expand_key(key);
+  Block state = add_round_key(plaintext, ks[0]);
+  for (std::size_t round = 1; round <= 9; ++round) {
+    state = sub_bytes(state);
+    state = shift_rows(state);
+    state = mix_columns(state);
+    state = add_round_key(state, ks[round]);
+  }
+  state = sub_bytes(state);
+  state = shift_rows(state);
+  state = add_round_key(state, ks[10]);
+  return state;
+}
+
+Block decrypt(const Block& ciphertext, const Key128& key) {
+  const KeySchedule ks = expand_key(key);
+  Block state = add_round_key(ciphertext, ks[10]);
+  state = inv_shift_rows(state);
+  for (std::size_t i = 0; i < 16; ++i) state[i] = inv_sbox(state[i]);
+  for (std::size_t round = 9; round >= 1; --round) {
+    state = add_round_key(state, ks[round]);
+    state = inv_mix_columns(state);
+    state = inv_shift_rows(state);
+    for (std::size_t i = 0; i < 16; ++i) state[i] = inv_sbox(state[i]);
+  }
+  return add_round_key(state, ks[0]);
+}
+
+}  // namespace sca::aes

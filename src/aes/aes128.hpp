@@ -1,0 +1,37 @@
+// Reference (unmasked, software) AES-128 per FIPS-197.
+//
+// This is the functional golden model: the masked gate-level AES core must
+// produce, after recombining shares, exactly these ciphertexts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sca::aes {
+
+using Block = std::array<std::uint8_t, 16>;
+using Key128 = std::array<std::uint8_t, 16>;
+
+/// Expanded AES-128 key schedule: 11 round keys of 16 bytes.
+using KeySchedule = std::array<Block, 11>;
+
+/// Expands a 128-bit cipher key into the 11 round keys.
+KeySchedule expand_key(const Key128& key);
+
+/// Encrypts one block with AES-128.
+Block encrypt(const Block& plaintext, const Key128& key);
+
+/// Decrypts one block with AES-128.
+Block decrypt(const Block& ciphertext, const Key128& key);
+
+/// Individual round transformations, exposed for cross-checking the masked
+/// datapath stage by stage. State is column-major as in FIPS-197: byte i
+/// sits at row (i % 4), column (i / 4).
+Block sub_bytes(const Block& s);
+Block shift_rows(const Block& s);
+Block mix_columns(const Block& s);
+Block add_round_key(const Block& s, const Block& rk);
+Block inv_shift_rows(const Block& s);
+Block inv_mix_columns(const Block& s);
+
+}  // namespace sca::aes

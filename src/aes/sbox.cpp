@@ -1,0 +1,57 @@
+#include "src/aes/sbox.hpp"
+
+#include "src/common/bitops.hpp"
+#include "src/gf/gf256.hpp"
+
+namespace sca::aes {
+
+namespace {
+
+gf::BitMatrix build_affine_matrix() {
+  // Row i of the AES affine matrix: bit j set iff j is in
+  // {i, i+4, i+5, i+6, i+7} mod 8 (FIPS-197 5.1.1).
+  gf::BitMatrix m(8, 8);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t off : {0u, 4u, 5u, 6u, 7u}) m.set(i, (i + off) % 8, true);
+  return m;
+}
+
+std::array<std::uint8_t, 256> build_sbox_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (unsigned x = 0; x < 256; ++x)
+    t[x] = sbox_affine(gf::gf256_inv(static_cast<std::uint8_t>(x)));
+  return t;
+}
+
+std::array<std::uint8_t, 256> build_inv_sbox_table() {
+  std::array<std::uint8_t, 256> t{};
+  const auto& fwd = sbox_table();
+  for (unsigned x = 0; x < 256; ++x) t[fwd[x]] = static_cast<std::uint8_t>(x);
+  return t;
+}
+
+}  // namespace
+
+const gf::BitMatrix& sbox_affine_matrix() {
+  static const gf::BitMatrix m = build_affine_matrix();
+  return m;
+}
+
+std::uint8_t sbox_affine(std::uint8_t x) {
+  return static_cast<std::uint8_t>(sbox_affine_matrix().apply(x) ^
+                                   kSboxAffineConstant);
+}
+
+const std::array<std::uint8_t, 256>& sbox_table() {
+  static const std::array<std::uint8_t, 256> t = build_sbox_table();
+  return t;
+}
+
+std::uint8_t sbox(std::uint8_t x) { return sbox_table()[x]; }
+
+std::uint8_t inv_sbox(std::uint8_t x) {
+  static const std::array<std::uint8_t, 256> t = build_inv_sbox_table();
+  return t[x];
+}
+
+}  // namespace sca::aes

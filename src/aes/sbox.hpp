@@ -1,0 +1,34 @@
+// The AES Sbox and its algebraic decomposition.
+//
+// S(x) = A(x^-1) where x^-1 is inversion in GF(2^8)/0x11B (with 0^-1 := 0)
+// and A is the affine transformation over GF(2)^8 with constant 0x63.
+// The decomposed pieces are exposed because the masked hardware Sbox
+// implements exactly this decomposition, and tests validate each stage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/gf/gf2.hpp"
+
+namespace sca::aes {
+
+/// Forward Sbox lookup (table generated from the algebraic definition).
+std::uint8_t sbox(std::uint8_t x);
+
+/// Inverse Sbox lookup.
+std::uint8_t inv_sbox(std::uint8_t x);
+
+/// The affine transformation A(x) = M * x + 0x63 applied after inversion.
+std::uint8_t sbox_affine(std::uint8_t x);
+
+/// The 8x8 GF(2) matrix of the affine transformation.
+const gf::BitMatrix& sbox_affine_matrix();
+
+/// The affine constant 0x63.
+inline constexpr std::uint8_t kSboxAffineConstant = 0x63;
+
+/// Full 256-entry forward table (e.g. for bulk software encryption).
+const std::array<std::uint8_t, 256>& sbox_table();
+
+}  // namespace sca::aes

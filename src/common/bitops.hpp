@@ -1,0 +1,41 @@
+// Small bit-manipulation helpers used by the field arithmetic, the netlist
+// simulator and the statistical evaluation engine.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace sca::common {
+
+/// Number of set bits in `v`.
+inline int popcount64(std::uint64_t v) { return std::popcount(v); }
+
+/// XOR-parity (0 or 1) of all bits of `v`.
+inline std::uint64_t parity64(std::uint64_t v) {
+  return static_cast<std::uint64_t>(std::popcount(v) & 1);
+}
+
+/// Extracts bit `i` of `v` as 0/1.
+inline std::uint64_t bit(std::uint64_t v, unsigned i) { return (v >> i) & 1u; }
+
+/// Sets bit `i` of `v` to `b` (b must be 0 or 1).
+inline std::uint64_t with_bit(std::uint64_t v, unsigned i, std::uint64_t b) {
+  return (v & ~(std::uint64_t{1} << i)) | (b << i);
+}
+
+/// Broadcasts a single bit (0/1) to a full 64-bit lane mask (0 or ~0).
+inline std::uint64_t broadcast_bit(std::uint64_t b) {
+  return std::uint64_t{0} - (b & 1u);
+}
+
+/// Index of the least significant set bit; undefined for v == 0.
+inline unsigned ctz64(std::uint64_t v) {
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Ceiling division for unsigned types.
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace sca::common

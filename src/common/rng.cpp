@@ -1,0 +1,57 @@
+#include "src/common/rng.hpp"
+
+#include <bit>
+
+#include "src/common/check.hpp"
+
+namespace sca::common {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // An all-zero state would be a fixed point; SplitMix64 cannot produce four
+  // zero outputs in a row, but keep the guard explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  require(bound != 0, "Xoshiro256::below: bound must be non-zero");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+std::uint8_t Xoshiro256::nonzero_byte() {
+  std::uint8_t b = byte();
+  while (b == 0) b = byte();
+  return b;
+}
+
+Xoshiro256 Xoshiro256::split() {
+  // Derive a child seed from the parent stream; the parent advances, so
+  // successive splits give distinct streams.
+  return Xoshiro256(next() ^ 0xD2B74407B1CE6E93ull);
+}
+
+}  // namespace sca::common

@@ -1,0 +1,420 @@
+#include "src/core/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/bitops.hpp"
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace sca::eval {
+
+using common::require;
+using common::Xoshiro256;
+using netlist::InputRole;
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+// Share inputs of one secret group arranged as [share][bit] -> signal.
+struct GroupInputs {
+  std::uint32_t group = 0;
+  std::vector<std::vector<SignalId>> share_bits;  // [share][bit]
+  std::uint32_t bits = 0;
+};
+
+std::vector<GroupInputs> collect_groups(const Netlist& nl) {
+  std::map<std::uint32_t, GroupInputs> groups;
+  for (const auto& in : nl.inputs()) {
+    if (in.role != InputRole::kShare) continue;
+    GroupInputs& g = groups[in.share.secret];
+    g.group = in.share.secret;
+    if (g.share_bits.size() <= in.share.share)
+      g.share_bits.resize(in.share.share + 1);
+    auto& bits = g.share_bits[in.share.share];
+    if (bits.size() <= in.share.bit) bits.resize(in.share.bit + 1, netlist::kNoSignal);
+    bits[in.share.bit] = in.signal;
+    g.bits = std::max(g.bits, in.share.bit + 1);
+  }
+  std::vector<GroupInputs> out;
+  for (auto& [id, g] : groups) {
+    require(g.bits <= 8, "campaign: secret groups wider than 8 bits unsupported");
+    for (const auto& share : g.share_bits) {
+      require(share.size() == g.bits, "campaign: ragged share inputs");
+      for (SignalId s : share)
+        require(s != netlist::kNoSignal, "campaign: missing share input bit");
+    }
+    out.push_back(std::move(g));
+  }
+  require(!out.empty(), "campaign: netlist declares no share inputs");
+  return out;
+}
+
+// One evaluated probe set after union-dedup: the union of the constituent
+// probes' observations, as dense stable indices.
+struct PreparedSet {
+  std::string name;
+  std::vector<SignalId> representatives;
+  std::vector<std::size_t> dense;  // indices into stable_points
+  std::size_t observation_bits = 0;
+  bool compacted = false;
+  stats::ContingencyTable table;                   // G-test mode
+  std::array<stats::MomentAccumulator, 2> moments;  // t-test mode
+};
+
+// One buffered sample: the stable-point values (64 lanes each) at the sample
+// cycle and, for transition models, the cycle before.
+struct Sample {
+  std::vector<std::uint64_t> now;
+  std::vector<std::uint64_t> prev;
+  int group = 0;
+};
+
+}  // namespace
+
+std::vector<const ProbeSetResult*> CampaignResult::top(std::size_t n) const {
+  std::vector<const ProbeSetResult*> out;
+  for (const auto& r : results) {
+    if (out.size() >= n) break;
+    out.push_back(&r);
+  }
+  return out;
+}
+
+CampaignResult run_fixed_vs_random(const Netlist& nl,
+                                   const CampaignOptions& options) {
+  nl.validate();
+  require(options.order >= 1 && options.order <= 2,
+          "campaign: supported orders are 1 and 2");
+  require(options.sample_interval >= 1, "campaign: sample_interval must be >= 1");
+  const bool ttest = options.statistic == Statistic::kWelchTTest;
+  require(!ttest || options.order == 1,
+          "campaign: the Welch t-test statistic supports order 1 only");
+
+  const netlist::StableSupport supports(nl);
+  const std::vector<Probe> universe =
+      build_probe_universe(nl, supports, options.probe_scope_filter);
+  require(!universe.empty(), "campaign: no probes (check probe_scope_filter)");
+
+  const std::vector<SignalId>& stable_points = supports.stable_points();
+  std::unordered_map<SignalId, std::size_t> dense_index;
+  for (std::size_t i = 0; i < stable_points.size(); ++i)
+    dense_index[stable_points[i]] = i;
+
+  // Enumerate probe sets and dedupe by union observation: a pair whose union
+  // equals another set's union (including any single probe) is statistically
+  // identical, so only the first instance is evaluated.
+  const bool transitions = options.model == ProbeModel::kGlitchTransition;
+  std::vector<PreparedSet> prepared;
+  std::size_t dropped = 0;
+  {
+    std::map<std::vector<SignalId>, std::size_t> seen;
+    const auto sets = enumerate_probe_sets(universe.size(), options.order);
+    for (const auto& set : sets) {
+      std::vector<SignalId> observed;
+      for (std::size_t pi : set)
+        observed.insert(observed.end(), universe[pi].observed.begin(),
+                        universe[pi].observed.end());
+      std::sort(observed.begin(), observed.end());
+      observed.erase(std::unique(observed.begin(), observed.end()),
+                     observed.end());
+      if (seen.contains(observed)) continue;
+      if (options.max_probe_sets && prepared.size() >= options.max_probe_sets) {
+        ++dropped;
+        continue;
+      }
+      seen.emplace(observed, prepared.size());
+      PreparedSet p;
+      for (std::size_t pi : set) {
+        if (!p.name.empty()) p.name += " & ";
+        p.name += universe[pi].name;
+        p.representatives.push_back(universe[pi].representative);
+      }
+      p.dense.reserve(observed.size());
+      for (SignalId sig : observed) p.dense.push_back(dense_index.at(sig));
+      p.observation_bits = observed.size() * (transitions ? 2 : 1);
+      // Exact keys are only sound when the full key space fits the table:
+      // once the bin cap forces overflow pooling, the group whose
+      // observations have higher entropy pools more of its mass and a
+      // spurious group difference appears. So: compact (Hamming-weight
+      // observations) whenever 2^bits could exceed the cap; exact keys must
+      // also fit a 64-bit word.
+      std::size_t bin_cap_bits = 0;
+      while ((std::size_t{2} << bin_cap_bits) <= options.max_bins_per_set &&
+             bin_cap_bits < 60)
+        ++bin_cap_bits;
+      const std::size_t exact_limit = std::min(
+          {options.max_observation_bits, bin_cap_bits, std::size_t{60}});
+      p.compacted = p.observation_bits > exact_limit;
+      p.table.set_bin_limit(options.max_bins_per_set);
+      prepared.push_back(std::move(p));
+    }
+  }
+
+  const std::vector<GroupInputs> groups = collect_groups(nl);
+
+  std::vector<SignalId> plain_randoms;
+  {
+    std::unordered_set<SignalId> nonzero_members;
+    for (const auto& bus : options.nonzero_random_buses)
+      for (SignalId s : bus) nonzero_members.insert(s);
+    for (const auto& in : nl.inputs())
+      if (in.role == InputRole::kRandom && !nonzero_members.contains(in.signal))
+        plain_randoms.push_back(in.signal);
+  }
+
+  sim::Simulator simulator(nl);
+  Xoshiro256 rng(options.seed);
+
+  std::array<std::uint8_t, 64> lane_bytes{};
+  auto feed_cycle = [&](bool fixed_group) {
+    for (const GroupInputs& g : groups) {
+      const std::uint8_t mask =
+          g.bits >= 8 ? std::uint8_t{0xFF}
+                      : static_cast<std::uint8_t>((1u << g.bits) - 1);
+      std::array<std::uint8_t, 64> secret{};
+      if (fixed_group) {
+        std::uint8_t v = 0;
+        if (auto it = options.fixed_values.find(g.group);
+            it != options.fixed_values.end())
+          v = it->second;
+        secret.fill(static_cast<std::uint8_t>(v & mask));
+      } else {
+        for (auto& b : secret) b = static_cast<std::uint8_t>(rng.byte() & mask);
+      }
+      std::array<std::uint8_t, 64> acc = secret;
+      const std::size_t num_shares = g.share_bits.size();
+      for (std::size_t sh = 0; sh + 1 < num_shares; ++sh) {
+        for (unsigned lane = 0; lane < 64; ++lane) {
+          lane_bytes[lane] = static_cast<std::uint8_t>(rng.byte() & mask);
+          acc[lane] ^= lane_bytes[lane];
+        }
+        for (std::uint32_t bit = 0; bit < g.bits; ++bit) {
+          std::uint64_t word = 0;
+          for (unsigned lane = 0; lane < 64; ++lane)
+            word |= static_cast<std::uint64_t>((lane_bytes[lane] >> bit) & 1u)
+                    << lane;
+          simulator.set_input(g.share_bits[sh][bit], word);
+        }
+      }
+      for (std::uint32_t bit = 0; bit < g.bits; ++bit) {
+        std::uint64_t word = 0;
+        for (unsigned lane = 0; lane < 64; ++lane)
+          word |= static_cast<std::uint64_t>((acc[lane] >> bit) & 1u) << lane;
+        simulator.set_input(g.share_bits[num_shares - 1][bit], word);
+      }
+    }
+    for (SignalId r : plain_randoms) simulator.set_input(r, rng.next());
+    for (const auto& bus : options.nonzero_random_buses) {
+      for (auto& b : lane_bytes) b = rng.nonzero_byte();
+      gadgets::set_bus_per_lane(simulator, bus,
+                                std::span<const std::uint8_t, 64>(lane_bytes));
+    }
+  };
+
+  auto snapshot_stable = [&](std::vector<std::uint64_t>& into) {
+    into.resize(stable_points.size());
+    for (std::size_t i = 0; i < stable_points.size(); ++i)
+      into[i] = simulator.value(stable_points[i]);
+  };
+
+  // Processes a chunk of buffered samples into the contingency tables of the
+  // probe sets [set_begin, set_end), parallelized over sets (tables are
+  // per-set: no contention).
+  const std::size_t num_threads = std::max(
+      1u, std::min(std::thread::hardware_concurrency(),
+                   static_cast<unsigned>((prepared.size() + 63) / 64) * 2));
+  auto process_chunk = [&](const std::vector<Sample>& chunk,
+                           std::size_t set_begin, std::size_t set_end) {
+    auto worker = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t si = begin; si < end; ++si) {
+        PreparedSet& set = prepared[si];
+        for (const Sample& sample : chunk) {
+          for (unsigned lane = 0; lane < 64; ++lane) {
+            if (ttest) {
+              // TVLA: Hamming weight of the (extended) observation.
+              unsigned hw = 0;
+              for (std::size_t d : set.dense) {
+                hw += (sample.now[d] >> lane) & 1u;
+                if (transitions) hw += (sample.prev[d] >> lane) & 1u;
+              }
+              set.moments[static_cast<std::size_t>(sample.group)].add(hw);
+              continue;
+            }
+            std::uint64_t key;
+            if (set.compacted) {
+              // Compact mode: per-cycle Hamming weight of the observation.
+              unsigned hw_now = 0, hw_prev = 0;
+              for (std::size_t d : set.dense) {
+                hw_now += (sample.now[d] >> lane) & 1u;
+                if (transitions) hw_prev += (sample.prev[d] >> lane) & 1u;
+              }
+              key = hw_now * 257u + hw_prev;
+            } else {
+              std::uint64_t obs = 0;
+              std::size_t k = 0;
+              for (std::size_t d : set.dense)
+                obs |= ((sample.now[d] >> lane) & 1u) << k++;
+              if (transitions)
+                for (std::size_t d : set.dense)
+                  obs |= ((sample.prev[d] >> lane) & 1u) << k++;
+              key = obs;
+            }
+            set.table.add(key, sample.group);
+          }
+        }
+      }
+    };
+    const std::size_t span = set_end - set_begin;
+    if (num_threads <= 1 || span < 2) {
+      worker(set_begin, set_end);
+      return;
+    }
+    std::vector<std::thread> threads;
+    const std::size_t per_thread = common::ceil_div(span, num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      const std::size_t begin = set_begin + t * per_thread;
+      const std::size_t end = std::min(set_end, begin + per_thread);
+      if (begin >= end) break;
+      threads.emplace_back(worker, begin, end);
+    }
+    for (auto& th : threads) th.join();
+  };
+
+  // --- main loop ------------------------------------------------------------------
+  const std::size_t samples_per_run =
+      std::max<std::size_t>(1, options.samples_per_run);
+  const std::size_t observations_per_run = 64 * samples_per_run;
+  const std::size_t runs_per_group = common::ceil_div(
+      std::max<std::size_t>(options.simulations, 64), observations_per_run);
+  constexpr std::size_t kChunkSamples = 256;
+
+  std::vector<ProbeSetResult> finished;
+  finished.reserve(prepared.size());
+
+  // One full (deterministically seeded) simulation pass accumulating only
+  // the probe sets [set_begin, set_end).
+  auto simulate_into = [&](std::size_t set_begin, std::size_t set_end) {
+    rng = Xoshiro256(options.seed);
+    std::vector<Sample> chunk;
+    chunk.reserve(kChunkSamples);
+    std::vector<std::uint64_t> prev_snapshot;
+    // Groups are interleaved so that a bin-limited table fills its key space
+    // from both groups evenly; running one group first would push the other
+    // group's tail keys into the overflow bin and fake a difference.
+    for (std::size_t run = 0; run < runs_per_group; ++run) {
+      for (int group = 0; group < 2; ++group) {
+        simulator.reset();
+        for (std::size_t c = 0; c < options.warmup_cycles; ++c) {
+          feed_cycle(group == 0);
+          simulator.settle();
+          snapshot_stable(prev_snapshot);
+          simulator.clock();
+        }
+        for (std::size_t s = 0; s < samples_per_run; ++s) {
+          for (std::size_t c = 0; c < options.sample_interval; ++c) {
+            feed_cycle(group == 0);
+            simulator.settle();
+            if (c + 1 == options.sample_interval) {
+              Sample sample;
+              sample.group = group;
+              snapshot_stable(sample.now);
+              if (transitions) sample.prev = prev_snapshot;
+              chunk.push_back(std::move(sample));
+              if (chunk.size() >= kChunkSamples) {
+                process_chunk(chunk, set_begin, set_end);
+                chunk.clear();
+              }
+            }
+            snapshot_stable(prev_snapshot);
+            simulator.clock();
+          }
+        }
+      }
+    }
+    if (!chunk.empty()) process_chunk(chunk, set_begin, set_end);
+  };
+
+  // Split the probe sets into batches whose contingency tables fit the
+  // memory budget, re-running the simulation per batch (the simulation is
+  // cheap next to table accumulation, and the seed makes passes identical).
+  constexpr std::size_t kBytesPerBin = 64;  // unordered_map node + slack
+  const std::size_t samples_total = 2 * runs_per_group * observations_per_run;
+  {
+    std::size_t begin = 0;
+    while (begin < prepared.size()) {
+      std::size_t end = begin;
+      std::size_t budget_used = 0;
+      while (end < prepared.size()) {
+        const PreparedSet& set = prepared[end];
+        std::size_t est_bins = options.max_bins_per_set;
+        if (set.compacted) {
+          est_bins = std::min<std::size_t>(est_bins, 1024);
+        } else if (set.observation_bits < 40) {
+          est_bins = std::min<std::size_t>(
+              est_bins, std::size_t{1} << set.observation_bits);
+        }
+        est_bins = std::min(est_bins, samples_total);
+        const std::size_t bytes = est_bins * kBytesPerBin;
+        if (end > begin && budget_used + bytes > options.table_memory_budget)
+          break;
+        budget_used += bytes;
+        ++end;
+      }
+      simulate_into(begin, end);
+      // Release the batch's table memory once its statistics are final.
+      for (std::size_t i = begin; i < end; ++i) {
+        ProbeSetResult r;
+        r.name = std::move(prepared[i].name);
+        r.representatives = std::move(prepared[i].representatives);
+        r.observation_bits = prepared[i].observation_bits;
+        r.compacted = prepared[i].compacted;
+        if (ttest) {
+          r.t = stats::welch_t_test(prepared[i].moments[0],
+                                    prepared[i].moments[1]);
+          r.severity = std::abs(r.t.t);
+        } else {
+          r.g = prepared[i].table.g_test();
+          prepared[i].table = stats::ContingencyTable();
+          r.severity = r.g.minus_log10_p;
+        }
+        r.minus_log10_p = r.severity;
+        finished.push_back(std::move(r));
+      }
+      begin = end;
+    }
+  }
+
+  // --- statistics -------------------------------------------------------------------
+  CampaignResult result;
+  result.model = options.model;
+  result.order = options.order;
+  result.statistic = options.statistic;
+  result.total_sets = prepared.size();
+  result.dropped_sets = dropped;
+  result.simulations_per_group = runs_per_group * observations_per_run;
+  const double threshold =
+      ttest ? stats::kTvlaThreshold : options.threshold;
+  for (ProbeSetResult& r : finished) {
+    r.leaking = r.severity > threshold;
+    if (r.leaking) {
+      result.pass = false;
+      ++result.leaking_sets;
+    }
+    result.max_minus_log10_p = std::max(result.max_minus_log10_p, r.minus_log10_p);
+    result.results.push_back(std::move(r));
+  }
+  std::sort(result.results.begin(), result.results.end(),
+            [](const ProbeSetResult& a, const ProbeSetResult& b) {
+              return a.minus_log10_p > b.minus_log10_p;
+            });
+  return result;
+}
+
+}  // namespace sca::eval

@@ -1,0 +1,122 @@
+// PROLEAD-style fixed-vs-random leakage evaluation campaign.
+//
+// Two groups of bit-parallel simulations are run: the *fixed* group feeds
+// the same unmasked secrets every cycle, the *random* group feeds fresh
+// uniform secrets; both groups re-share the secrets and redraw every fresh
+// mask each cycle. For every (deduplicated, extended) probe set, the
+// distribution of its observation is accumulated per group and compared
+// with a G-test; leakage is declared when -log10(p) exceeds the threshold
+// (7.0, matching PROLEAD). This is the tool flow the paper runs against the
+// masked Sbox with 4 million simulations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/probes.hpp"
+#include "src/gadgets/bus.hpp"
+#include "src/netlist/ir.hpp"
+#include "src/stats/gtest_stat.hpp"
+#include "src/stats/ttest.hpp"
+
+namespace sca::eval {
+
+/// Which statistic decides leakage.
+enum class Statistic {
+  kGTest,       ///< PROLEAD's contingency G-test on full observations
+  kWelchTTest,  ///< TVLA Welch t-test on observation Hamming weights
+                ///< (first order only; threshold |t| > 4.5)
+};
+
+struct CampaignOptions {
+  ProbeModel model = ProbeModel::kGlitch;
+  unsigned order = 1;
+  Statistic statistic = Statistic::kGTest;
+
+  /// Observations collected per group (the paper's "number of simulations").
+  std::size_t simulations = 200'000;
+
+  std::uint64_t seed = 1;
+
+  /// Leakage threshold on -log10(p), PROLEAD's default.
+  double threshold = 7.0;
+
+  /// Cycles to run before the first sample (>= pipeline depth).
+  std::size_t warmup_cycles = 8;
+
+  /// Cycles between samples within one run; must exceed the pipeline depth
+  /// so consecutive samples are statistically independent.
+  std::size_t sample_interval = 8;
+
+  /// Sample points taken per 64-lane run before resetting.
+  std::size_t samples_per_run = 32;
+
+  /// Observations wider than this are compacted to Hamming weights per cycle
+  /// (PROLEAD's compact mode) to keep contingency tables meaningful.
+  std::size_t max_observation_bits = 20;
+
+  /// Fixed unmasked value per secret group for the fixed group of the test.
+  /// Groups not listed default to 0x00.
+  std::map<std::uint32_t, std::uint8_t> fixed_values;
+
+  /// Random-byte buses that must be drawn from GF(256)* (the B2M masks).
+  std::vector<gadgets::Bus> nonzero_random_buses;
+
+  /// Optional hierarchical-name prefix restricting probe placement.
+  std::string probe_scope_filter;
+
+  /// Hard cap on evaluated probe sets (0 = unlimited); sets beyond the cap
+  /// are dropped and reported, never silently.
+  std::size_t max_probe_sets = 0;
+
+  /// Distinct observation keys tracked per probe set; once exceeded, further
+  /// new keys pool into one overflow bin (gross leaks live in frequent keys,
+  /// and the G-test pools rare bins anyway).
+  std::size_t max_bins_per_set = 1u << 16;
+
+  /// Approximate memory budget for contingency tables. Large order-2
+  /// campaigns are split into probe-set batches, re-running the (cheap,
+  /// seeded) simulation once per batch to stay under the budget.
+  std::size_t table_memory_budget = std::size_t{4096} * 1024 * 1024;
+};
+
+struct ProbeSetResult {
+  std::string name;           ///< probe names joined with " & "
+  std::vector<netlist::SignalId> representatives;
+  std::size_t observation_bits = 0;
+  bool compacted = false;     ///< Hamming-weight compaction applied
+  stats::GTestResult g;       ///< valid when statistic == kGTest
+  stats::TTestResult t;       ///< valid when statistic == kWelchTTest
+  /// Severity on the campaign's scale: -log10(p) for the G-test, |t| for
+  /// the t-test (compare against 7.0 resp. 4.5).
+  double severity = 0.0;
+  double minus_log10_p = 0.0;  ///< == severity for the G-test (convenience)
+  bool leaking = false;
+};
+
+struct CampaignResult {
+  bool pass = true;
+  Statistic statistic = Statistic::kGTest;
+  /// Worst severity over all sets (-log10(p) or |t| depending on statistic).
+  double max_minus_log10_p = 0.0;
+  std::size_t leaking_sets = 0;
+  std::size_t total_sets = 0;
+  std::size_t dropped_sets = 0;  ///< sets beyond max_probe_sets
+  std::size_t simulations_per_group = 0;
+  ProbeModel model = ProbeModel::kGlitch;
+  unsigned order = 1;
+  /// All probe-set results, sorted by -log10(p) descending.
+  std::vector<ProbeSetResult> results;
+
+  /// The top `n` results (most leaking first).
+  std::vector<const ProbeSetResult*> top(std::size_t n) const;
+};
+
+/// Runs the campaign. The netlist must have at least one secret group with
+/// a complete set of share inputs.
+CampaignResult run_fixed_vs_random(const netlist::Netlist& nl,
+                                   const CampaignOptions& options);
+
+}  // namespace sca::eval

@@ -1,0 +1,74 @@
+#include "src/core/probes.hpp"
+
+#include <map>
+
+#include "src/common/check.hpp"
+
+namespace sca::eval {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::SignalId;
+
+std::string to_string(ProbeModel model) {
+  switch (model) {
+    case ProbeModel::kGlitch:
+      return "glitch-extended";
+    case ProbeModel::kGlitchTransition:
+      return "glitch+transition-extended";
+  }
+  return "?";
+}
+
+std::vector<Probe> build_probe_universe(const Netlist& nl,
+                                        const netlist::StableSupport& supports,
+                                        const std::string& scope_filter) {
+  std::map<std::vector<SignalId>, SignalId> unique;
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    const GateKind k = nl.kind(id);
+    if (k == GateKind::kConst0 || k == GateKind::kConst1) continue;
+    if (!scope_filter.empty()) {
+      const auto name = nl.explicit_name(id);
+      if (!name || name->rfind(scope_filter, 0) != 0) continue;
+    }
+    std::vector<SignalId> observed;
+    for (std::size_t idx : supports.support(id).set_bits())
+      observed.push_back(supports.stable_points()[idx]);
+    if (observed.empty()) continue;
+    auto [it, inserted] = unique.try_emplace(std::move(observed), id);
+    if (!inserted && !nl.explicit_name(it->second) && nl.explicit_name(id))
+      it->second = id;
+  }
+
+  std::vector<Probe> universe;
+  universe.reserve(unique.size());
+  for (auto& [observed, representative] : unique) {
+    Probe p;
+    p.representative = representative;
+    p.name = nl.signal_name(representative);
+    p.observed = observed;
+    universe.push_back(std::move(p));
+  }
+  return universe;
+}
+
+std::vector<std::vector<std::size_t>> enumerate_probe_sets(
+    std::size_t universe_size, unsigned order) {
+  common::require(order >= 1 && order <= 3,
+                  "enumerate_probe_sets: order must be 1..3");
+  std::vector<std::vector<std::size_t>> sets;
+  if (order == 1) {
+    for (std::size_t i = 0; i < universe_size; ++i) sets.push_back({i});
+  } else if (order == 2) {
+    for (std::size_t i = 0; i < universe_size; ++i)
+      for (std::size_t j = i + 1; j < universe_size; ++j) sets.push_back({i, j});
+  } else {
+    for (std::size_t i = 0; i < universe_size; ++i)
+      for (std::size_t j = i + 1; j < universe_size; ++j)
+        for (std::size_t k = j + 1; k < universe_size; ++k)
+          sets.push_back({i, j, k});
+  }
+  return sets;
+}
+
+}  // namespace sca::eval

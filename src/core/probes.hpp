@@ -1,0 +1,45 @@
+// Probe placement and extension for the robust probing models.
+//
+// A standard probe sits on one signal. Under the glitch-extended model it
+// observes all stable signals (register outputs, primary inputs) in the
+// probed signal's combinational fan-in; under the transition extension it
+// additionally observes those signals' values in the previous clock cycle.
+// Probes whose extended observation sets coincide are statistically
+// indistinguishable, so the universe is deduplicated by observation set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/cone.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::eval {
+
+enum class ProbeModel {
+  kGlitch,            ///< glitch-extended probes (the paper's Section III)
+  kGlitchTransition,  ///< glitch- and transition-extended (Section IV)
+};
+
+std::string to_string(ProbeModel model);
+
+/// One deduplicated probe position.
+struct Probe {
+  netlist::SignalId representative = netlist::kNoSignal;
+  std::string name;                         ///< representative's name
+  std::vector<netlist::SignalId> observed;  ///< stable signals, ascending
+};
+
+/// Builds the deduplicated probe universe over all signals of `nl`.
+/// When `scope_filter` is non-empty, only signals whose hierarchical name
+/// starts with the prefix are probed (e.g. "sbox.kron." to focus on the
+/// Kronecker delta inside a larger design).
+std::vector<Probe> build_probe_universe(const netlist::Netlist& nl,
+                                        const netlist::StableSupport& supports,
+                                        const std::string& scope_filter = "");
+
+/// All probe sets of size exactly `order` as index tuples into the universe.
+std::vector<std::vector<std::size_t>> enumerate_probe_sets(
+    std::size_t universe_size, unsigned order);
+
+}  // namespace sca::eval

@@ -1,0 +1,38 @@
+#include "src/core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sca::eval {
+
+std::string verdict_line(const CampaignResult& result) {
+  std::ostringstream os;
+  os << (result.pass ? "PASS" : "FAIL") << " (max "
+     << (result.statistic == Statistic::kWelchTTest ? "|t|" : "-log10(p)")
+     << " = " << std::fixed << std::setprecision(2)
+     << result.max_minus_log10_p << " over " << result.total_sets
+     << " probe sets, " << result.leaking_sets << " leaking)";
+  return os.str();
+}
+
+std::string to_string(const CampaignResult& result, std::size_t top_n) {
+  std::ostringstream os;
+  os << "fixed-vs-random campaign: " << to_string(result.model) << ", order "
+     << result.order << ", " << result.simulations_per_group
+     << " simulations/group\n";
+  os << "verdict: " << verdict_line(result) << "\n";
+  if (result.dropped_sets)
+    os << "WARNING: " << result.dropped_sets
+       << " probe sets dropped by max_probe_sets cap\n";
+  os << std::fixed << std::setprecision(2);
+  os << "  -log10(p)  bits  probe set\n";
+  for (const ProbeSetResult* r : result.top(top_n)) {
+    os << "  " << std::setw(9) << r->minus_log10_p << "  " << std::setw(4)
+       << r->observation_bits << "  " << r->name
+       << (r->compacted ? " [compact]" : "") << (r->leaking ? "  <-- LEAK" : "")
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sca::eval

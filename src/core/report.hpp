@@ -1,0 +1,18 @@
+// Text rendering of campaign results, in the spirit of PROLEAD's report:
+// a verdict line, campaign parameters, and the most significant probe sets
+// with their -log10(p) values and gate names.
+#pragma once
+
+#include <string>
+
+#include "src/core/campaign.hpp"
+
+namespace sca::eval {
+
+/// Full report with the `top_n` most significant probe sets.
+std::string to_string(const CampaignResult& result, std::size_t top_n = 10);
+
+/// One-line verdict: "PASS (max -log10(p) = 1.32 over 107 probe sets)".
+std::string verdict_line(const CampaignResult& result);
+
+}  // namespace sca::eval

@@ -1,0 +1,123 @@
+#include "src/core/search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/campaign.hpp"
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/kronecker.hpp"
+#include "src/verif/exact.hpp"
+
+namespace sca::eval {
+
+using gadgets::RandomnessPlan;
+using netlist::Netlist;
+
+std::vector<const PlanEvaluation*> SearchResult::secure_plans() const {
+  std::vector<const PlanEvaluation*> out;
+  for (const auto& e : evaluations)
+    if (e.secure) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const PlanEvaluation* a, const PlanEvaluation* b) {
+              return a->plan.fresh_count() < b->plan.fresh_count();
+            });
+  return out;
+}
+
+std::size_t SearchResult::min_secure_fresh() const {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (const auto& e : evaluations)
+    if (e.secure) best = std::min(best, e.plan.fresh_count());
+  return best;
+}
+
+PlanEvaluation evaluate_kron1_plan(const RandomnessPlan& plan,
+                                   const SearchOptions& options) {
+  Netlist nl;
+  const std::vector<gadgets::Bus> shares = {
+      gadgets::make_input_bus(nl, 8, netlist::InputRole::kShare, "b0_", 0, 0),
+      gadgets::make_input_bus(nl, 8, netlist::InputRole::kShare, "b1_", 0, 1)};
+  gadgets::build_kronecker(nl, shares, plan);
+
+  PlanEvaluation eval{plan, false, false, 0.0, ""};
+  if (options.model == ProbeModel::kGlitch && options.prefer_exact) {
+    const verif::ExactReport report = verif::verify_first_order_glitch(nl);
+    eval.exact = true;
+    eval.secure = !report.any_leak && !report.any_skipped;
+    for (const auto* leak : report.leaking()) {
+      eval.severity = leak->max_tv_distance;
+      eval.worst_probe = leak->name;
+      break;
+    }
+    return eval;
+  }
+
+  CampaignOptions campaign;
+  campaign.model = options.model;
+  campaign.order = 1;
+  campaign.simulations = options.simulations;
+  campaign.seed = options.seed;
+  campaign.threshold = options.threshold;
+  // The fixed value must be the zero-value corner: the Kronecker's entire
+  // reason to exist, and where the paper's leaks show.
+  campaign.fixed_values[0] = 0x00;
+  const CampaignResult result = run_fixed_vs_random(nl, campaign);
+  eval.secure = result.pass;
+  eval.severity = result.max_minus_log10_p;
+  if (!result.results.empty()) eval.worst_probe = result.results.front().name;
+  return eval;
+}
+
+SearchResult search_r7_reuse(const SearchOptions& options) {
+  SearchResult result;
+  // r7 fresh (the 7-bit baseline).
+  result.evaluations.push_back(
+      evaluate_kron1_plan(RandomnessPlan::kron1_full_fresh(), options));
+  // r7 = r_i for i = 1..6.
+  for (unsigned i = 1; i <= 6; ++i) {
+    std::vector<gadgets::MaskSlotExpr> slots;
+    for (unsigned k = 0; k < 6; ++k)
+      slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << k, false});
+    slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << (i - 1), false});
+    RandomnessPlan plan("kron1/search-r7-is-r" + std::to_string(i), 6,
+                        std::move(slots));
+    result.evaluations.push_back(evaluate_kron1_plan(plan, options));
+  }
+  return result;
+}
+
+SearchResult search_all_partitions(const SearchOptions& options,
+                                   std::size_t max_fresh) {
+  SearchResult result;
+  // Restricted growth strings over 7 slots enumerate set partitions up to
+  // renaming of fresh bits.
+  std::vector<unsigned> assignment(7, 0);
+  while (true) {
+    const unsigned used =
+        *std::max_element(assignment.begin(), assignment.end()) + 1;
+    if (!max_fresh || used <= max_fresh) {
+      std::vector<gadgets::MaskSlotExpr> slots;
+      for (unsigned a : assignment)
+        slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << a, false});
+      std::string name = "kron1/partition-";
+      for (unsigned a : assignment) name += static_cast<char>('0' + a);
+      RandomnessPlan plan(name, used, std::move(slots));
+      result.evaluations.push_back(evaluate_kron1_plan(plan, options));
+    }
+    // Next restricted growth string.
+    int i = 6;
+    for (; i >= 1; --i) {
+      const unsigned prefix_max =
+          *std::max_element(assignment.begin(), assignment.begin() + i);
+      if (assignment[i] <= prefix_max) {
+        ++assignment[i];
+        for (std::size_t j = i + 1; j < 7; ++j) assignment[j] = 0;
+        break;
+      }
+    }
+    if (i < 1) break;
+  }
+  return result;
+}
+
+}  // namespace sca::eval

@@ -1,0 +1,63 @@
+// Randomness-plan search for the first-order Kronecker delta.
+//
+// Section IV of the paper finds its repaired optimization (Eq. (9)) and the
+// transition-secure family ("four solutions, r7 = r_i") by manual analysis
+// plus trial and error with PROLEAD. This module mechanizes that search:
+// enumerate candidate plans, build the Kronecker with each, evaluate it —
+// exactly (glitch model) or by sampling (transition model) — and collect
+// the secure plans by fresh-mask cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/probes.hpp"
+#include "src/gadgets/randomness_plan.hpp"
+
+namespace sca::eval {
+
+struct SearchOptions {
+  ProbeModel model = ProbeModel::kGlitch;
+  /// Under the glitch model, use the exact enumerative verifier (sound and
+  /// fast for the Kronecker); the transition model always samples.
+  bool prefer_exact = true;
+  /// Sampling budget per candidate (observations per group).
+  std::size_t simulations = 100'000;
+  std::uint64_t seed = 1;
+  double threshold = 7.0;
+};
+
+struct PlanEvaluation {
+  gadgets::RandomnessPlan plan;
+  bool secure = false;
+  bool exact = false;      ///< verdict from the exact verifier
+  double severity = 0.0;   ///< max TV distance (exact) or -log10(p) (sampled)
+  std::string worst_probe; ///< most significant probe (empty when secure/exact)
+};
+
+struct SearchResult {
+  std::vector<PlanEvaluation> evaluations;
+
+  /// Secure plans, cheapest (fewest fresh bits) first.
+  std::vector<const PlanEvaluation*> secure_plans() const;
+  /// Minimum fresh-bit count among secure plans (SIZE_MAX if none).
+  std::size_t min_secure_fresh() const;
+};
+
+/// Evaluates one first-order Kronecker plan.
+PlanEvaluation evaluate_kron1_plan(const gadgets::RandomnessPlan& plan,
+                                   const SearchOptions& options);
+
+/// The paper's Section IV search space: r1..r6 fresh and independent,
+/// r7 either fresh or reusing one of r1..r6 (7 candidates).
+SearchResult search_r7_reuse(const SearchOptions& options);
+
+/// Exhaustive search over all single-bit slot assignments up to renaming of
+/// fresh bits (set partitions of the 7 slots; Bell(7) = 877 candidates).
+/// `max_fresh` skips partitions using more than that many fresh bits
+/// (0 = no limit).
+SearchResult search_all_partitions(const SearchOptions& options,
+                                   std::size_t max_fresh = 0);
+
+}  // namespace sca::eval

@@ -1,0 +1,46 @@
+#include "src/gadgets/conversions.hpp"
+
+#include "src/gadgets/gf_circuits.hpp"
+
+namespace sca::gadgets {
+
+using netlist::Netlist;
+
+B2MResult build_b2m(Netlist& nl, const Bus& b0, const Bus& b1, const Bus& r,
+                    const std::string& scope) {
+  nl.push_scope(scope);
+  B2MResult result;
+  // Each share is multiplied by the mask *before* the register; the XOR of
+  // the two registered products never exposes X unmasked because R blinds it
+  // multiplicatively (for X != 0 — hence the Kronecker delta upstream).
+  const Bus prod0 = reg_bus(nl, build_gf256_mul(nl, b0, r));
+  name_bus(nl, prod0, "p1a");
+  const Bus prod1 = reg_bus(nl, build_gf256_mul(nl, b1, r));
+  name_bus(nl, prod1, "p1b");
+  result.p1 = xor_bus(nl, prod0, prod1);
+  name_bus(nl, result.p1, "p1");
+  result.p0 = reg_bus(nl, r);
+  name_bus(nl, result.p0, "p0");
+  nl.pop_scope();
+  return result;
+}
+
+M2BResult build_m2b(Netlist& nl, const Bus& q0, const Bus& q1, const Bus& rp,
+                    const std::string& scope) {
+  nl.push_scope(scope);
+  M2BResult result;
+  const Bus q0_reg = reg_bus(nl, q0);
+  name_bus(nl, q0_reg, "q0_reg");
+  const Bus rp_reg = reg_bus(nl, rp);
+  name_bus(nl, rp_reg, "rp_reg");
+  const Bus sum_reg = reg_bus(nl, xor_bus(nl, rp, q1));
+  name_bus(nl, sum_reg, "rq1_reg");
+  result.b0 = build_gf256_mul(nl, rp_reg, q0_reg);
+  name_bus(nl, result.b0, "b0");
+  result.b1 = build_gf256_mul(nl, sum_reg, q0_reg);
+  name_bus(nl, result.b1, "b1");
+  nl.pop_scope();
+  return result;
+}
+
+}  // namespace sca::gadgets

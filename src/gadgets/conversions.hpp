@@ -1,0 +1,43 @@
+// Masking-scheme conversions of the multiplicative-masked Sbox (Fig. 2):
+//
+//   Boolean -> multiplicative (B2M), Section II-C of the paper:
+//     P0 = [R],   P1 = [B0 x R] ^ [B1 x R]        (R random from GF(256)*)
+//   so that X = B0 ^ B1 = inv(P0) x P1.
+//
+//   Multiplicative -> Boolean (M2B):
+//     B'0 = [R'] x [Q0],   B'1 = [R' ^ Q1] x [Q0]  (R' random from GF(256))
+//   so that B'0 ^ B'1 = Q0 x Q1.
+//
+// Registers ([.]) make each conversion one pipeline stage.
+#pragma once
+
+#include <string>
+
+#include "src/gadgets/bus.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+struct B2MResult {
+  Bus p0;  ///< first multiplicative share (the registered mask R)
+  Bus p1;  ///< second multiplicative share (X * R)
+  std::size_t latency = 1;
+};
+
+/// Builds the B2M conversion. `r` must be fed non-zero values (GF(256)*)
+/// for functional correctness — the harness enforces this.
+B2MResult build_b2m(netlist::Netlist& nl, const Bus& b0, const Bus& b1,
+                    const Bus& r, const std::string& scope = "b2m");
+
+struct M2BResult {
+  Bus b0;  ///< first Boolean share
+  Bus b1;  ///< second Boolean share
+  std::size_t latency = 1;
+};
+
+/// Builds the M2B conversion of product-form multiplicative shares
+/// (X = Q0 x Q1). `rp` is a full-range random byte.
+M2BResult build_m2b(netlist::Netlist& nl, const Bus& q0, const Bus& q1,
+                    const Bus& rp, const std::string& scope = "m2b");
+
+}  // namespace sca::gadgets

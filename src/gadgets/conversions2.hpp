@@ -1,0 +1,57 @@
+// Second-order (3-share) masking-scheme conversions, following the iterative
+// multiply-and-compress idea of Genelle et al. / De Meyer et al.:
+//
+//   B2M (3 Boolean shares -> product-form multiplicative triple):
+//     cycle 1:  C_i = [B_i x R1]                      (share-local multiplies)
+//     cycle 2:  E_0 = [(C_0 ^ C_1) x R2],  E_1 = [C_2 x R2]
+//     output:   P   = E_0 ^ E_1  ( = X * R1 * R2 ),  triple (R1, R2, P)
+//   so X = inv(R1) * inv(R2) * P. Each compression step happens only after
+//   the previous multiplicative blinding, so no partial XOR ever exposes X
+//   below three probes. R1, R2 must be non-zero.
+//
+//   M2B (product triple Q0*Q1*Q2 -> 3 Boolean shares):
+//     cycle 1:  T_0 = [S1],        T_1 = [Q2 ^ S1]
+//     cycle 2:  U_i = [T_i x Q1]
+//     cycle 3:  W_0 = [U_0 ^ S2],  W_1 = [S2],  W_2 = [U_1]
+//     output:   B_i = W_i x Q0    (combinational)
+//   so B_0 ^ B_1 ^ B_2 = Q0 * Q1 * Q2. S1, S2 are uniform mask bytes.
+//
+// These constructions are validated by the evaluation engine up to order 2
+// (tests + bench_e9); their security is an empirical tool-checked property,
+// in the spirit of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/gadgets/bus.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+struct B2M2Result {
+  Bus r1;  ///< first multiplicative share (delayed R1)
+  Bus r2;  ///< second multiplicative share (delayed R2)
+  Bus p;   ///< third share, X * R1 * R2
+  std::size_t latency = 2;
+};
+
+/// Second-order Boolean -> multiplicative conversion. `r1`, `r2` must be fed
+/// non-zero bytes.
+B2M2Result build_b2m2(netlist::Netlist& nl, const std::vector<Bus>& b_shares,
+                      const Bus& r1, const Bus& r2,
+                      const std::string& scope = "b2m2");
+
+struct M2B2Result {
+  std::vector<Bus> b_shares;  ///< three 8-bit Boolean share buses
+  std::size_t latency = 3;
+};
+
+/// Second-order multiplicative -> Boolean conversion of a product-form
+/// triple (X = q0 * q1 * q2). `s1`, `s2` are uniform mask bytes; `q0` and
+/// `q1` are registered internally to match the pipeline.
+M2B2Result build_m2b2(netlist::Netlist& nl, const Bus& q0, const Bus& q1,
+                      const Bus& q2, const Bus& s1, const Bus& s2,
+                      const std::string& scope = "m2b2");
+
+}  // namespace sca::gadgets

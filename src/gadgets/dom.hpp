@@ -1,0 +1,50 @@
+// Domain-Oriented Masking (DOM-indep) AND gadget, for any number of shares.
+//
+// For s = d+1 shares, the gadget computes shares of z = x & y as
+//
+//   z^i = [x^i y^i]  XOR  over j != i of  [x^i y^j ^ r_{ij}]
+//
+// where [.] is a register and r_{ij} = r_{ji} is one fresh mask bit per
+// unordered share-domain pair (Gross et al., TIS 2016). Following the design
+// evaluated in the paper (Fig. 1c / Eq. (7)), the *inner-domain* product is
+// registered as well — this pipelines the gadget and is exactly the register
+// whose content a glitch-extended probe on the output XOR observes (the
+// a1/a2/d1/d2 signals of Fig. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+/// Handles to the pieces of one DOM-AND instance, for wiring and reporting.
+struct DomAnd {
+  std::vector<netlist::SignalId> out;         ///< s output shares
+  std::vector<netlist::SignalId> inner_regs;  ///< s registered inner products
+  /// cross_regs[i] = registered terms [x^i y^j ^ r_ij] for j != i, ascending j.
+  std::vector<std::vector<netlist::SignalId>> cross_regs;
+};
+
+/// Number of fresh-mask slots a DOM-AND with `share_count` shares consumes:
+/// one per unordered domain pair.
+constexpr std::size_t dom_mask_count(std::size_t share_count) {
+  return share_count * (share_count - 1) / 2;
+}
+
+/// Index of mask r_{ij} (i < j) within the gadget's mask vector.
+std::size_t dom_mask_index(std::size_t i, std::size_t j, std::size_t share_count);
+
+/// Builds one DOM-AND. `x` and `y` are the share vectors (equal length s >= 2),
+/// `masks` must contain dom_mask_count(s) signals. Signals inside the gadget
+/// are named under the scope `name` ("inner0", "cross01", "out0", ...).
+/// `register_inner` controls whether inner-domain products are registered
+/// (the paper's design does; plain DOM does not).
+DomAnd build_dom_and(netlist::Netlist& nl,
+                     const std::vector<netlist::SignalId>& x,
+                     const std::vector<netlist::SignalId>& y,
+                     const std::vector<netlist::SignalId>& masks,
+                     const std::string& name, bool register_inner = true);
+
+}  // namespace sca::gadgets

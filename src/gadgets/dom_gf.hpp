@@ -1,0 +1,73 @@
+// Domain-Oriented Masking multipliers over small Galois fields.
+//
+// The bit-level DOM-AND of dom.hpp generalizes directly: for shares
+// x^0..x^{s-1}, y^0..y^{s-1} of field elements,
+//
+//   z^i = [x^i * y^i]  XOR  over j != i of  [x^i * y^j ^ R_{ij}]
+//
+// with one fresh mask *element* (field-width bits) per unordered domain
+// pair, and registers on every product term. This is the multiplier used by
+// Boolean-masked AES Sboxes in the DOM tradition (Gross et al.) — the
+// state-of-the-art the CHES 2018 multiplicative design competes against —
+// and by our second-order masking conversions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/gadgets/bus.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+/// Which field the multiplier computes in (operand width follows).
+enum class GfKind {
+  kGf4Tower,    ///< GF(2^2) in the tower representation, 2-bit buses
+  kGf16Tower,   ///< GF(2^4) in the tower representation, 4-bit buses
+  kGf256Aes,    ///< GF(2^8) in the AES representation, 8-bit buses
+};
+
+/// Bus width of a field element.
+constexpr std::size_t gf_width(GfKind kind) {
+  switch (kind) {
+    case GfKind::kGf4Tower: return 2;
+    case GfKind::kGf16Tower: return 4;
+    case GfKind::kGf256Aes: return 8;
+  }
+  return 0;
+}
+
+/// Handles to one DOM field multiplier.
+struct DomGfMul {
+  std::vector<Bus> out;  ///< s output share buses
+};
+
+/// Builds a DOM-indep field multiplier. `x` and `y` are share vectors of
+/// element buses (equal count s >= 2, each bus gf_width(kind) bits wide).
+/// `masks` holds dom_mask_count(s) fresh mask buses of the same width.
+/// Inner-domain products are registered like the cross terms (pipelined,
+/// matching the designs evaluated in the paper). Latency: 1 cycle.
+DomGfMul build_dom_gf_mul(netlist::Netlist& nl, GfKind kind,
+                          const std::vector<Bus>& x, const std::vector<Bus>& y,
+                          const std::vector<Bus>& masks,
+                          const std::string& name);
+
+/// Number of fresh mask buses a ring refresh over s shares consumes (for
+/// s = 2 the two ring masks coincide, so one suffices).
+constexpr std::size_t refresh_mask_count(std::size_t share_count) {
+  return share_count == 2 ? 1 : share_count;
+}
+
+/// Re-randomizes a sharing with a registered ring refresh:
+///   out_i = [ in_i ^ m_i ^ m_{(i+1) mod s} ]      (s >= 3)
+///   out_i = [ in_i ^ m_0 ]                        (s == 2)
+/// The XOR of the outputs equals the XOR of the inputs, but the output
+/// sharing is independent of the input sharing — required whenever a shared
+/// value feeds two different DOM multipliers whose probe cones could
+/// otherwise combine its shares. Latency: 1 cycle.
+std::vector<Bus> build_ring_refresh(netlist::Netlist& nl,
+                                    const std::vector<Bus>& shares,
+                                    const std::vector<Bus>& masks,
+                                    const std::string& name);
+
+}  // namespace sca::gadgets

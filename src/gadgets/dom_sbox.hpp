@@ -1,0 +1,67 @@
+// Boolean-masked AES Sbox in the DOM tradition (Gross et al., TIS 2016) —
+// the state-of-the-art baseline the CHES 2018 multiplicative design is
+// compared against in the paper's introduction.
+//
+// Structure (Canright tower decomposition, one DOM multiplier per nonlinear
+// step, squarings and scalings share-local because they are GF(2)-linear):
+//
+//   stage 0  basis change to GF(((2^2)^2)^2) + register, per share (1 cycle)
+//   stage 1  nu    = lambda*hi^2 + lo^2 + DOM16(lo, hi)            (1 cycle)
+//   stage 2  nu4   = w*n1^2 + n0^2 + DOM4(n0, n1)                  (1 cycle)
+//            inv4  = nu4^2                                     (combinational)
+//   stage 3  ninv  = ( DOM4(n1, inv4) : DOM4(n0 + n1, inv4) )      (1 cycle)
+//   stage 4  out   = ( DOM16(hi, ninv) : DOM16(lo + hi, ninv) )    (1 cycle)
+//            basis change back + affine, per share             (combinational)
+//
+// The stage-0 register is security-critical (see the comment in the
+// builder). Cost at first order: 3 GF(2^4) + 3 GF(2^2) DOM multipliers =
+// 18+4 fresh mask bits per cycle and 6 cycles of latency — against the
+// multiplicative design's 7 (unoptimized Kronecker) + 16 (conversion masks
+// R, R') bits and 5 cycles. bench_baseline_compare prints the comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/dom.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+struct DomSboxOptions {
+  std::size_t share_count = 2;
+  bool include_affine = true;
+};
+
+/// Fresh mask bits one DOM Sbox consumes per cycle: 3 multipliers of 4 bits
+/// + 3 of 2 bits, each needing C(s,2) mask elements, plus the stage-3 ring
+/// refresh of the two 2-bit norm halves (see the builder for why that
+/// refresh is security-critical).
+constexpr std::size_t dom_sbox_mask_bits(std::size_t share_count) {
+  return (3 * 4 + 3 * 2) * dom_mask_count(share_count) +
+         2 * 2 * (share_count == 2 ? 1 : share_count);
+}
+
+struct DomSbox {
+  std::vector<Bus> in_shares;   ///< 8-bit Boolean input share buses
+  std::vector<netlist::SignalId> masks;  ///< fresh mask bits, in slot order
+  std::vector<Bus> out_shares;  ///< 8-bit Boolean output share buses
+  std::size_t latency = 6;
+};
+
+/// Builds the DOM Sbox as a sub-circuit over existing share buses and mask
+/// bits (dom_sbox_mask_bits(s) of them).
+DomSbox build_dom_sbox_core(netlist::Netlist& nl,
+                            const std::vector<Bus>& in_shares,
+                            const std::vector<netlist::SignalId>& masks,
+                            const DomSboxOptions& options,
+                            const std::string& scope = "domsbox");
+
+/// Standalone variant creating primary inputs (shares under secret group
+/// `secret`, kRandom mask bits) and outputs.
+DomSbox build_dom_sbox(netlist::Netlist& nl, const DomSboxOptions& options,
+                       const std::string& scope = "domsbox",
+                       std::uint32_t secret = 0);
+
+}  // namespace sca::gadgets

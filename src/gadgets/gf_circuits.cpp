@@ -1,0 +1,199 @@
+#include "src/gadgets/gf_circuits.hpp"
+
+#include <array>
+
+#include "src/aes/sbox.hpp"
+#include "src/common/check.hpp"
+#include "src/gf/gf256.hpp"
+#include "src/gf/tower.hpp"
+
+namespace sca::gadgets {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+Bus build_gf256_mul(Netlist& nl, const Bus& a, const Bus& b) {
+  common::require(a.size() == 8 && b.size() == 8,
+                  "build_gf256_mul: operands must be 8 bits");
+  // Partial products p_k = XOR_{i+j=k} a_i b_j for k = 0..14.
+  std::array<std::vector<SignalId>, 15> partial;
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      partial[i + j].push_back(nl.and_(a[i], b[j]));
+
+  // Reduction: x^k mod the AES polynomial, k = 8..14, gives the byte each
+  // overflow term folds into.
+  std::array<std::uint8_t, 15> reduction{};
+  for (std::size_t k = 8; k < 15; ++k) {
+    unsigned v = 1u << k;
+    for (int bit = 14; bit >= 8; --bit)
+      if (v & (1u << bit)) v ^= gf::kAesPoly << (bit - 8);
+    reduction[k] = static_cast<std::uint8_t>(v);
+  }
+
+  Bus out;
+  out.reserve(8);
+  for (std::size_t bit = 0; bit < 8; ++bit) {
+    std::vector<SignalId> terms = partial[bit];
+    for (std::size_t k = 8; k < 15; ++k)
+      if ((reduction[k] >> bit) & 1u)
+        terms.insert(terms.end(), partial[k].begin(), partial[k].end());
+    out.push_back(xor_tree(nl, std::move(terms)));
+  }
+  return out;
+}
+
+namespace {
+
+// Two- and four-bit sub-buses used by the tower structure. All formulas
+// mirror src/gf/tower.cpp gate for gate.
+using Bus2 = std::array<SignalId, 2>;
+using Bus4 = std::array<SignalId, 4>;
+
+Bus2 gf4_mul_c(Netlist& nl, const Bus2& a, const Bus2& b) {
+  const SignalId hi =
+      nl.xor_(nl.xor_(nl.and_(a[1], b[0]), nl.and_(a[0], b[1])),
+              nl.and_(a[1], b[1]));
+  const SignalId lo = nl.xor_(nl.and_(a[0], b[0]), nl.and_(a[1], b[1]));
+  return {lo, hi};
+}
+
+Bus2 gf4_sq_c(Netlist& nl, const Bus2& a) {
+  return {nl.xor_(a[0], a[1]), a[1]};
+}
+
+Bus2 gf4_mul_w_c(Netlist& nl, const Bus2& a) {
+  return {a[1], nl.xor_(a[0], a[1])};
+}
+
+Bus2 gf4_xor_c(Netlist& nl, const Bus2& a, const Bus2& b) {
+  return {nl.xor_(a[0], b[0]), nl.xor_(a[1], b[1])};
+}
+
+Bus2 lo2(const Bus4& a) { return {a[0], a[1]}; }
+Bus2 hi2(const Bus4& a) { return {a[2], a[3]}; }
+Bus4 join4(const Bus2& lo, const Bus2& hi) { return {lo[0], lo[1], hi[0], hi[1]}; }
+
+Bus4 gf16_mul_c(Netlist& nl, const Bus4& a, const Bus4& b) {
+  const Bus2 hh = gf4_mul_c(nl, hi2(a), hi2(b));
+  const Bus2 hi = gf4_xor_c(
+      nl, gf4_xor_c(nl, gf4_mul_c(nl, hi2(a), lo2(b)), gf4_mul_c(nl, lo2(a), hi2(b))),
+      hh);
+  const Bus2 lo =
+      gf4_xor_c(nl, gf4_mul_c(nl, lo2(a), lo2(b)), gf4_mul_w_c(nl, hh));
+  return join4(lo, hi);
+}
+
+Bus4 gf16_sq_c(Netlist& nl, const Bus4& a) {
+  const Bus2 h = gf4_sq_c(nl, hi2(a));
+  const Bus2 lo = gf4_xor_c(nl, gf4_sq_c(nl, lo2(a)), gf4_mul_w_c(nl, h));
+  return join4(lo, h);
+}
+
+// Multiplication by lambda = w * x: hi = w (a1 + a0), lo = w^2 a1.
+Bus4 gf16_mul_lambda_c(Netlist& nl, const Bus4& a) {
+  const Bus2 hi = gf4_mul_w_c(nl, gf4_xor_c(nl, hi2(a), lo2(a)));
+  const Bus2 lo = gf4_mul_w_c(nl, gf4_mul_w_c(nl, hi2(a)));
+  return join4(lo, hi);
+}
+
+Bus4 gf16_xor_c(Netlist& nl, const Bus4& a, const Bus4& b) {
+  return join4(gf4_xor_c(nl, lo2(a), lo2(b)), gf4_xor_c(nl, hi2(a), hi2(b)));
+}
+
+Bus4 gf16_inv_c(Netlist& nl, const Bus4& a) {
+  // norm = w * hi^2 + lo^2 + lo*hi over GF(2^2); inverse in GF(2^2) is
+  // squaring.
+  const Bus2 norm = gf4_xor_c(
+      nl,
+      gf4_xor_c(nl, gf4_mul_w_c(nl, gf4_sq_c(nl, hi2(a))), gf4_sq_c(nl, lo2(a))),
+      gf4_mul_c(nl, lo2(a), hi2(a)));
+  const Bus2 ninv = gf4_sq_c(nl, norm);
+  const Bus2 hi = gf4_mul_c(nl, hi2(a), ninv);
+  const Bus2 lo = gf4_mul_c(nl, gf4_xor_c(nl, lo2(a), hi2(a)), ninv);
+  return join4(lo, hi);
+}
+
+}  // namespace
+
+Bus build_gf256_inv(Netlist& nl, const Bus& a) {
+  common::require(a.size() == 8, "build_gf256_inv: operand must be 8 bits");
+  const gf::TowerContext& ctx = gf::TowerContext::instance();
+  const Bus t = apply_matrix(nl, ctx.to_tower, a);
+
+  const Bus4 lo = {t[0], t[1], t[2], t[3]};
+  const Bus4 hi = {t[4], t[5], t[6], t[7]};
+  // norm = lambda * hi^2 + lo^2 + lo * hi over GF(2^4).
+  const Bus4 norm = gf16_xor_c(
+      nl,
+      gf16_xor_c(nl, gf16_mul_lambda_c(nl, gf16_sq_c(nl, hi)),
+                 gf16_sq_c(nl, lo)),
+      gf16_mul_c(nl, lo, hi));
+  const Bus4 ninv = gf16_inv_c(nl, norm);
+  const Bus4 out_hi = gf16_mul_c(nl, hi, ninv);
+  const Bus4 out_lo = gf16_mul_c(nl, gf16_xor_c(nl, lo, hi), ninv);
+
+  const Bus tower_out = {out_lo[0], out_lo[1], out_lo[2], out_lo[3],
+                         out_hi[0], out_hi[1], out_hi[2], out_hi[3]};
+  return apply_matrix(nl, ctx.from_tower, tower_out);
+}
+
+Bus build_sbox_affine(Netlist& nl, const Bus& a, bool with_constant) {
+  common::require(a.size() == 8, "build_sbox_affine: operand must be 8 bits");
+  Bus out = apply_matrix(nl, aes::sbox_affine_matrix(), a);
+  if (with_constant) out = xor_const(nl, out, aes::kSboxAffineConstant);
+  return out;
+}
+
+// --- public bus wrappers around the tower helpers ------------------------------
+
+namespace {
+
+Bus2 as_bus2(const Bus& a) {
+  common::require(a.size() == 2, "tower circuit: operand must be 2 bits");
+  return {a[0], a[1]};
+}
+
+Bus4 as_bus4(const Bus& a) {
+  common::require(a.size() == 4, "tower circuit: operand must be 4 bits");
+  return {a[0], a[1], a[2], a[3]};
+}
+
+Bus from_bus2(const Bus2& a) { return {a[0], a[1]}; }
+Bus from_bus4(const Bus4& a) { return {a[0], a[1], a[2], a[3]}; }
+
+}  // namespace
+
+Bus build_gf4_mul(Netlist& nl, const Bus& a, const Bus& b) {
+  return from_bus2(gf4_mul_c(nl, as_bus2(a), as_bus2(b)));
+}
+
+Bus build_gf4_sq(Netlist& nl, const Bus& a) {
+  return from_bus2(gf4_sq_c(nl, as_bus2(a)));
+}
+
+Bus build_gf4_mul_w(Netlist& nl, const Bus& a) {
+  return from_bus2(gf4_mul_w_c(nl, as_bus2(a)));
+}
+
+Bus build_gf16_mul(Netlist& nl, const Bus& a, const Bus& b) {
+  return from_bus4(gf16_mul_c(nl, as_bus4(a), as_bus4(b)));
+}
+
+Bus build_gf16_sq(Netlist& nl, const Bus& a) {
+  return from_bus4(gf16_sq_c(nl, as_bus4(a)));
+}
+
+Bus build_gf16_mul_lambda(Netlist& nl, const Bus& a) {
+  return from_bus4(gf16_mul_lambda_c(nl, as_bus4(a)));
+}
+
+Bus build_aes_to_tower(Netlist& nl, const Bus& a) {
+  return apply_matrix(nl, gf::TowerContext::instance().to_tower, a);
+}
+
+Bus build_tower_to_aes(Netlist& nl, const Bus& a) {
+  return apply_matrix(nl, gf::TowerContext::instance().from_tower, a);
+}
+
+}  // namespace sca::gadgets

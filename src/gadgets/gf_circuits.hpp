@@ -1,0 +1,45 @@
+// Combinational GF(2^8) circuits in the AES polynomial representation:
+// schoolbook multiplier, tower-field inverter (Boyar-Peralta-style
+// logic-minimized structure via GF(((2^2)^2)^2)), and the Sbox affine
+// transformation.
+//
+// These are *unmasked* building blocks; the masked Sbox instantiates them on
+// individual shares (the multiplicative-masking trick is exactly that the
+// inversion may run "locally" on one multiplicative share).
+#pragma once
+
+#include "src/gadgets/bus.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+/// Schoolbook GF(2^8) multiplier: 64 AND gates + reduction XOR network.
+/// Both operands are 8-bit buses in the AES representation.
+Bus build_gf256_mul(netlist::Netlist& nl, const Bus& a, const Bus& b);
+
+/// GF(2^8) inversion (0 maps to 0) through the tower field: basis change in,
+/// tower inversion, basis change out. Fully combinational.
+Bus build_gf256_inv(netlist::Netlist& nl, const Bus& a);
+
+/// The AES Sbox affine transformation A(x) = M x + 0x63. When
+/// `with_constant` is false only the linear part M x is built — that is what
+/// all shares except share 0 get in a masked datapath.
+Bus build_sbox_affine(netlist::Netlist& nl, const Bus& a, bool with_constant);
+
+// --- tower-field sub-circuits (buses in the tower representation) -------------
+// Exposed for the DOM (Boolean-masked) Sbox baseline and the second-order
+// conversions, which decompose their nonlinear work into these fields.
+// GF(2^2) elements are 2-bit buses, GF(2^4) elements 4-bit buses.
+
+Bus build_gf4_mul(netlist::Netlist& nl, const Bus& a, const Bus& b);
+Bus build_gf4_sq(netlist::Netlist& nl, const Bus& a);      // linear
+Bus build_gf4_mul_w(netlist::Netlist& nl, const Bus& a);   // linear
+Bus build_gf16_mul(netlist::Netlist& nl, const Bus& a, const Bus& b);
+Bus build_gf16_sq(netlist::Netlist& nl, const Bus& a);     // linear
+Bus build_gf16_mul_lambda(netlist::Netlist& nl, const Bus& a);  // linear
+
+/// Basis change AES representation <-> tower representation (linear).
+Bus build_aes_to_tower(netlist::Netlist& nl, const Bus& a);
+Bus build_tower_to_aes(netlist::Netlist& nl, const Bus& a);
+
+}  // namespace sca::gadgets

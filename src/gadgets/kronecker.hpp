@@ -1,0 +1,49 @@
+// The masked Kronecker delta function of the CHES 2018 multiplicative-masked
+// AES Sbox: delta(X) = 1 iff X == 0, computed on Boolean shares as a three-
+// level tree of DOM-AND gates over the complemented input bits (Fig. 1b /
+// Fig. 3 of the paper):
+//
+//   layer 1:  G1 = !x0 & !x1   G2 = !x2 & !x3   G3 = !x4 & !x5   G4 = !x6 & !x7
+//   layer 2:  G5 = G1 & G2     G6 = G3 & G4
+//   layer 3:  G7 = G5 & G6
+//
+// Each gate consumes dom_mask_count(s) mask slots; which fresh bits feed
+// those slots is decided by a RandomnessPlan — the paper's entire analysis is
+// about which plans are sound. Latency: 3 clock cycles (one register layer
+// per DOM level).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/dom.hpp"
+#include "src/gadgets/randomness_plan.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+/// Handles to a built Kronecker delta instance.
+struct KroneckerDelta {
+  std::vector<netlist::SignalId> z;      ///< s shares of the delta bit
+  std::vector<netlist::SignalId> fresh;  ///< the fresh mask inputs created
+  std::vector<DomAnd> gates;             ///< G1..G7 in order
+  std::size_t latency = 3;
+};
+
+/// Number of mask slots a Kronecker delta with `share_count` shares needs.
+constexpr std::size_t kronecker_slot_count(std::size_t share_count) {
+  return 7 * dom_mask_count(share_count);
+}
+
+/// Builds the Kronecker delta over the given input shares (each an 8-bit
+/// bus; share i of the secret). Fresh mask bits are taken from
+/// `fresh_external` when non-empty (must match plan.fresh_count()); otherwise
+/// fresh primary inputs are created. Gates are scoped G1..G7 under `scope`
+/// so leakage reports read like the paper's Fig. 3.
+KroneckerDelta build_kronecker(
+    netlist::Netlist& nl, const std::vector<Bus>& x_shares,
+    const RandomnessPlan& plan, const std::string& scope = "kron",
+    const std::vector<netlist::SignalId>& fresh_external = {});
+
+}  // namespace sca::gadgets

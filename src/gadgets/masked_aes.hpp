@@ -1,0 +1,58 @@
+// Complete first-order masked AES-128 encryption core — the full-cipher
+// context the CHES 2018 design (and the paper's evaluation subject) lives in.
+//
+// Architecture: round-based datapath with a 6-cycle round period, dictated by
+// the 5-cycle masked-Sbox pipeline.
+//
+//   * 16 masked Sbox instances for SubBytes, 4 for the key schedule's
+//     SubWord — each with its own independent randomness.
+//   * ShiftRows is pure wiring per share; MixColumns and AddRoundKey are
+//     per-share XOR networks (Boolean masking commutes with linear layers).
+//   * A small gate-level controller (phase counter mod 6, round counter
+//     0..11) sequences loading, the 10 rounds (round 10 skips MixColumns)
+//     and the done flag. State and key registers are latched once per round
+//     period. Everything is in the netlist — there is no behavioural magic —
+//     so the whole cipher can be fed to the leakage evaluation engine.
+//
+// Latency: 61 clock cycles from reset to valid ciphertext shares.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/randomness_plan.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+struct MaskedAesOptions {
+  /// Randomness plan for every Sbox's Kronecker delta. Defaults to the
+  /// paper's transition-secure family (r1..r6 fresh, r7 = r1).
+  RandomnessPlan kron_plan = RandomnessPlan::kron1_transition_secure(1);
+};
+
+/// Handles to a built masked AES core.
+struct MaskedAes {
+  /// Plaintext share inputs: pt[share][byte] is an 8-bit bus. Bytes are in
+  /// FIPS-197 column-major state order. Secret groups 0..15.
+  std::vector<std::vector<Bus>> pt;
+  /// Key share inputs, secret groups 16..31.
+  std::vector<std::vector<Bus>> key;
+  /// Ciphertext share outputs (state registers): ct[share][byte].
+  std::vector<std::vector<Bus>> ct;
+  /// High once encryption is finished and ct holds the result.
+  netlist::SignalId done = netlist::kNoSignal;
+  /// Randomness buses that must be fed *non-zero* bytes every cycle (the
+  /// B2M masks of all 20 Sbox instances). All other kRandom inputs take
+  /// uniform bits.
+  std::vector<Bus> nonzero_random_buses;
+  /// Clock cycles after reset until `done` is high and ct is valid.
+  std::size_t total_cycles = 61;
+};
+
+/// Builds the masked AES-128 core, creating all primary inputs and outputs.
+MaskedAes build_masked_aes128(netlist::Netlist& nl, const MaskedAesOptions& opts,
+                              const std::string& scope = "aes");
+
+}  // namespace sca::gadgets

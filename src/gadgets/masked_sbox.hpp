@@ -1,0 +1,70 @@
+// The complete first-order multiplicative-masked AES Sbox of De Meyer et al.
+// (CHES 2018), as re-implemented and evaluated by the paper (Fig. 2):
+//
+//   cycle 1-3   Kronecker delta over the Boolean input shares (DOM tree),
+//               input shares delayed in parallel
+//               X' = X ^ delta(X)             (zero maps to one)
+//   cycle 4     B2M conversion: P0 = [R], P1 = [X'0 R] ^ [X'1 R]
+//               local GF(2^8) inversion of P1 (combinational tower inverter)
+//   cycle 5     M2B conversion of (Q0, Q1) = (P0, inv(P1))
+//               output fix-up  B' ^ delta(X)  (one maps back to zero)
+//               affine transformation (combinational)
+//
+// Total latency 5 cycles, one input per cycle (fully pipelined), matching
+// the paper's Section II-C description.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/kronecker.hpp"
+#include "src/gadgets/randomness_plan.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+struct MaskedSboxOptions {
+  /// Include the Kronecker delta zero-mapper. Without it the Sbox is only
+  /// correct (and only masked) for non-zero inputs — the configuration of
+  /// the paper's first experiment.
+  bool include_kronecker = true;
+
+  /// Randomness plan for the Kronecker's 7 DOM gates.
+  RandomnessPlan kron_plan = RandomnessPlan::kron1_full_fresh();
+
+  /// Skip the final affine transformation (gives the masked GF inversion
+  /// only). The paper's Sbox includes it; ablation benches use this.
+  bool include_affine = true;
+};
+
+/// Handles to a built masked Sbox instance.
+struct MaskedSbox {
+  std::vector<Bus> in_shares;   ///< two 8-bit Boolean input share buses
+  Bus rand_b2m;                 ///< 8-bit fresh mask R; MUST be fed non-zero
+  Bus rand_m2b;                 ///< 8-bit fresh mask R' (full range)
+  std::vector<netlist::SignalId> kron_fresh;  ///< Kronecker fresh mask bits
+  std::optional<KroneckerDelta> kronecker;
+  std::vector<Bus> out_shares;  ///< two 8-bit Boolean output share buses
+  std::size_t latency = 5;      ///< clock cycles input -> output
+};
+
+/// Builds the masked Sbox datapath as a sub-circuit: all inputs (share buses
+/// and randomness) are supplied by the caller. Used directly by the masked
+/// AES core, which instantiates 20 of these.
+MaskedSbox build_masked_sbox_core(netlist::Netlist& nl,
+                                  const std::vector<Bus>& in_shares,
+                                  const Bus& rand_b2m, const Bus& rand_m2b,
+                                  const std::vector<netlist::SignalId>& kron_fresh,
+                                  const MaskedSboxOptions& opts,
+                                  const std::string& scope = "sbox");
+
+/// Builds a standalone masked Sbox into `nl`, creating all its primary
+/// inputs (share inputs under secret group `secret`, randomness inputs) and
+/// registering the output shares as primary outputs "s0_0".."s1_7".
+MaskedSbox build_masked_sbox(netlist::Netlist& nl, const MaskedSboxOptions& opts,
+                             const std::string& scope = "sbox",
+                             std::uint32_t secret = 0);
+
+}  // namespace sca::gadgets

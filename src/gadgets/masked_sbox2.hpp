@@ -1,0 +1,51 @@
+// Second-order (3-share) multiplicative-masked AES Sbox — the design family
+// of the paper's Section IV closing experiment (E9):
+//
+//   cycle 1-3  second-order Kronecker delta (21 mask slots, plan-driven)
+//              input shares delayed in parallel; X' = X ^ delta(X)
+//   cycle 4-5  second-order B2M (two multiplicative blindings R1, R2)
+//              local GF(2^8) inversion of P = X' R1 R2 (combinational)
+//   cycle 6-8  second-order M2B (Boolean masks S1, S2)
+//              output fix-up  B ^ delta(X), affine transformation
+//
+// Latency: 8 cycles, fully pipelined. Randomness per cycle: the Kronecker
+// plan's fresh bits + two non-zero bytes (R1, R2) + two uniform bytes
+// (S1, S2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/kronecker.hpp"
+#include "src/gadgets/randomness_plan.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+struct MaskedSbox2Options {
+  /// Randomness plan for the second-order Kronecker (21 slots).
+  RandomnessPlan kron_plan = RandomnessPlan::kron2_full_fresh();
+  bool include_affine = true;
+};
+
+struct MaskedSbox2 {
+  std::vector<Bus> in_shares;   ///< three 8-bit Boolean input share buses
+  Bus rand_r1;                  ///< non-zero multiplicative mask
+  Bus rand_r2;                  ///< non-zero multiplicative mask
+  Bus rand_s1;                  ///< uniform Boolean mask
+  Bus rand_s2;                  ///< uniform Boolean mask
+  std::vector<netlist::SignalId> kron_fresh;
+  std::vector<Bus> out_shares;  ///< three 8-bit Boolean output share buses
+  std::size_t latency = 8;
+};
+
+/// Builds the standalone second-order masked Sbox, creating all primary
+/// inputs (shares under secret group `secret`) and outputs.
+MaskedSbox2 build_masked_sbox2(netlist::Netlist& nl,
+                               const MaskedSbox2Options& options,
+                               const std::string& scope = "sbox2",
+                               std::uint32_t secret = 0);
+
+}  // namespace sca::gadgets

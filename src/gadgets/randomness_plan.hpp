@@ -1,0 +1,115 @@
+// Randomness plans: how a gadget's fresh-mask *slots* are filled from actual
+// fresh random bits.
+//
+// This is the object the whole paper is about. The first-order Kronecker
+// delta has 7 mask slots (one per DOM-AND gate, named r1..r7 after Fig. 3);
+// the second-order one has 21 (three per gate). A plan assigns each slot an
+// XOR combination of fresh bits, optionally behind a register — e.g. the
+// CHES 2018 optimization (Eq. (6)) is
+//     r1 = r3 = f0,  r2 = r4 = f1,  r5 = f2,  r6 = [f2 ^ f1],  r7 = f0
+// using only 3 fresh bits, and the paper's repaired plan (Eq. (9)) is
+//     r1..r4 = f0..f3,  r5 = f3,  r6 = f1,  r7 = f2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netlist/ir.hpp"
+
+namespace sca::gadgets {
+
+/// One mask slot: the XOR of the fresh bits selected by `fresh_mask`
+/// (bit k set = fresh bit f_k participates), registered first if `registered`
+/// (the paper's Eq. (6) registers its XOR-combined slot: r6 = [r5 ^ r2]).
+struct MaskSlotExpr {
+  std::uint64_t fresh_mask = 0;
+  bool registered = false;
+
+  bool operator==(const MaskSlotExpr&) const = default;
+};
+
+class RandomnessPlan {
+ public:
+  RandomnessPlan(std::string name, std::size_t fresh_count,
+                 std::vector<MaskSlotExpr> slots);
+
+  const std::string& name() const { return name_; }
+  std::size_t fresh_count() const { return fresh_count_; }
+  std::size_t slot_count() const { return slots_.size(); }
+  const std::vector<MaskSlotExpr>& slots() const { return slots_; }
+
+  /// Human-readable assignment, e.g. "r1=f0 r2=f1 r3=f0 ...".
+  std::string describe() const;
+
+  /// Parses the describe() syntax back into a plan: slots are listed in
+  /// order as "rK=<expr>" where <expr> is "fN", "fN^fM^..." or a registered
+  /// combination "[fN^fM]". The fresh count is the highest bit used + 1.
+  /// Throws sca::common::Error on malformed input.
+  static RandomnessPlan parse(const std::string& name,
+                              const std::string& description);
+
+  /// Materializes the slots as signals: single-bit unregistered slots pass
+  /// the fresh signal through; combinations become XOR trees; registered
+  /// slots get a register. `fresh` must contain fresh_count() signals.
+  std::vector<netlist::SignalId> materialize(
+      netlist::Netlist& nl, const std::vector<netlist::SignalId>& fresh) const;
+
+  // --- first-order Kronecker plans (7 slots, r1..r7 = slots 0..6) -------------
+
+  /// All 7 masks fresh and independent (no optimization).
+  static RandomnessPlan kron1_full_fresh();
+
+  /// The CHES 2018 optimization, Eq. (6): 3 fresh bits. The paper shows this
+  /// leaks first-order under glitch-extended probing.
+  static RandomnessPlan kron1_demeyer_eq6();
+
+  /// Only the single reuse r1 = r3 (6 fresh bits) — the minimal leaking case
+  /// analyzed around Eq. (8).
+  static RandomnessPlan kron1_single_reuse_r1r3();
+
+  /// First-layer pair reuse r1 = r3 and r2 = r4 (5 fresh bits), the
+  /// "exacerbated" case of Section III.
+  static RandomnessPlan kron1_pair_reuse();
+
+  /// The paper's repaired optimization, Eq. (9): r1..r4 fresh, r5 = r4,
+  /// r6 = r2, r7 = r3 (4 fresh bits). Secure under glitch-extended probing,
+  /// insecure once transitions are considered.
+  static RandomnessPlan kron1_proposed_eq9();
+
+  /// The counterexample of Section IV: r5 = r6 (shared), everything else
+  /// fresh — leaks even under the glitch-only model.
+  static RandomnessPlan kron1_r5_equals_r6();
+
+  /// The transition-secure family found by the paper's search: r1..r6 fresh,
+  /// r7 = r_i for i in {1, 2, 3, 4} (6 fresh bits).
+  static RandomnessPlan kron1_transition_secure(int reused_first_layer_index);
+
+  // --- second-order Kronecker plans (21 slots, 3 per gate) ---------------------
+
+  /// All 21 masks fresh.
+  static RandomnessPlan kron2_full_fresh();
+
+  /// A naive 21 -> 13 slot-sharing reconstruction of the CHES 2018
+  /// second-order optimization (first layer fresh, upper gates recycle
+  /// first-layer masks, one extra fresh bit). Our evaluation shows it is
+  /// secure at first order under the glitch model but *leaks at second
+  /// order* — kept as the cautionary negative control of bench_e9 (the
+  /// paper's "use evaluation tools" message). The published wiring of [12]
+  /// is not printed in the paper under reproduction; see EXPERIMENTS.md.
+  static RandomnessPlan kron2_naive13();
+
+  /// Our reduced-randomness second-order plan: first layer fresh, upper
+  /// gates mostly fresh with top-gate reuse mirroring the first-order
+  /// transition-secure family. Validated by the evaluation engine at orders
+  /// 1 and 2 under glitch+transition probing (see bench_e9 and
+  /// EXPERIMENTS.md for the paper-vs-measured discussion).
+  static RandomnessPlan kron2_reduced();
+
+ private:
+  std::string name_;
+  std::size_t fresh_count_;
+  std::vector<MaskSlotExpr> slots_;
+};
+
+}  // namespace sca::gadgets

@@ -1,0 +1,49 @@
+#include "src/gadgets/sharing.hpp"
+
+#include "src/common/check.hpp"
+#include "src/gf/gf256.hpp"
+
+namespace sca::gadgets {
+
+std::vector<std::uint8_t> boolean_share(std::uint8_t x, std::size_t share_count,
+                                        common::Xoshiro256& rng) {
+  common::require(share_count >= 1, "boolean_share: need at least one share");
+  std::vector<std::uint8_t> shares(share_count);
+  std::uint8_t acc = x;
+  for (std::size_t i = 0; i + 1 < share_count; ++i) {
+    shares[i] = rng.byte();
+    acc ^= shares[i];
+  }
+  shares[share_count - 1] = acc;
+  return shares;
+}
+
+std::uint8_t boolean_unshare(std::span<const std::uint8_t> shares) {
+  std::uint8_t x = 0;
+  for (std::uint8_t s : shares) x ^= s;
+  return x;
+}
+
+std::vector<std::uint8_t> multiplicative_share(std::uint8_t x,
+                                               std::size_t share_count,
+                                               common::Xoshiro256& rng) {
+  common::require(share_count >= 1, "multiplicative_share: need >= 1 share");
+  std::vector<std::uint8_t> shares(share_count);
+  std::uint8_t product = x;
+  for (std::size_t i = 0; i + 1 < share_count; ++i) {
+    shares[i] = rng.nonzero_byte();
+    product = gf::gf256_mul(product, shares[i]);
+  }
+  shares[share_count - 1] = product;
+  return shares;
+}
+
+std::uint8_t multiplicative_unshare(std::span<const std::uint8_t> shares) {
+  SCA_ASSERT(!shares.empty(), "multiplicative_unshare: empty shares");
+  std::uint8_t x = shares[shares.size() - 1];
+  for (std::size_t i = 0; i + 1 < shares.size(); ++i)
+    x = gf::gf256_mul(x, gf::gf256_inv(shares[i]));
+  return x;
+}
+
+}  // namespace sca::gadgets

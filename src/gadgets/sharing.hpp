@@ -1,0 +1,36 @@
+// Value-level secret sharing (Boolean and multiplicative).
+//
+// These are the software counterparts of the hardware masking: test harnesses
+// and the evaluation engine use them to encode stimuli into shares and to
+// recombine circuit outputs for functional checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace sca::gadgets {
+
+/// Splits `x` into `share_count` Boolean shares: the first share_count-1 are
+/// uniform, the last makes the XOR equal x (Equation (1) of the paper).
+std::vector<std::uint8_t> boolean_share(std::uint8_t x, std::size_t share_count,
+                                        common::Xoshiro256& rng);
+
+/// XOR-recombines Boolean shares.
+std::uint8_t boolean_unshare(std::span<const std::uint8_t> shares);
+
+/// Splits `x` into multiplicative shares per Equation (3) of the paper:
+/// shares 1..d-1 are uniform over GF(256)* and
+///   x = inv(s[0]) * inv(s[1]) * ... * inv(s[d-2]) * s[d-1].
+/// The zero-value problem is visible here: for x == 0 the last share is 0
+/// regardless of the masks.
+std::vector<std::uint8_t> multiplicative_share(std::uint8_t x,
+                                               std::size_t share_count,
+                                               common::Xoshiro256& rng);
+
+/// Recombines multiplicative shares per Equation (3).
+std::uint8_t multiplicative_unshare(std::span<const std::uint8_t> shares);
+
+}  // namespace sca::gadgets

@@ -1,0 +1,138 @@
+#include "src/gf/gf2.hpp"
+
+#include "src/common/bitops.hpp"
+#include "src/common/check.hpp"
+
+namespace sca::gf {
+
+using common::require;
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_bits_(rows, 0) {
+  require(rows <= 64 && cols <= 64, "BitMatrix: dimensions must be <= 64");
+}
+
+BitMatrix BitMatrix::identity(std::size_t n) {
+  BitMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+bool BitMatrix::get(std::size_t r, std::size_t c) const {
+  SCA_ASSERT(r < rows_ && c < cols_, "BitMatrix::get out of range");
+  return (row_bits_[r] >> c) & 1u;
+}
+
+void BitMatrix::set(std::size_t r, std::size_t c, bool v) {
+  SCA_ASSERT(r < rows_ && c < cols_, "BitMatrix::set out of range");
+  if (v)
+    row_bits_[r] |= std::uint64_t{1} << c;
+  else
+    row_bits_[r] &= ~(std::uint64_t{1} << c);
+}
+
+std::uint64_t BitMatrix::row(std::size_t r) const {
+  SCA_ASSERT(r < rows_, "BitMatrix::row out of range");
+  return row_bits_[r];
+}
+
+void BitMatrix::set_row(std::size_t r, std::uint64_t bits) {
+  SCA_ASSERT(r < rows_, "BitMatrix::set_row out of range");
+  const std::uint64_t mask =
+      cols_ == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << cols_) - 1);
+  row_bits_[r] = bits & mask;
+}
+
+std::uint64_t BitMatrix::apply(std::uint64_t x) const {
+  std::uint64_t y = 0;
+  for (std::size_t r = 0; r < rows_; ++r)
+    y |= common::parity64(row_bits_[r] & x) << r;
+  return y;
+}
+
+BitMatrix BitMatrix::operator*(const BitMatrix& rhs) const {
+  require(cols_ == rhs.rows_, "BitMatrix::operator*: shape mismatch");
+  BitMatrix out(rows_, rhs.cols_);
+  // out(r, c) = parity over k of this(r, k) & rhs(k, c).
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::uint64_t acc = 0;
+    std::uint64_t row = row_bits_[r];
+    while (row) {
+      const unsigned k = common::ctz64(row);
+      row &= row - 1;
+      acc ^= rhs.row_bits_[k];
+    }
+    out.row_bits_[r] = acc;
+  }
+  return out;
+}
+
+std::size_t BitMatrix::rank() const {
+  std::vector<std::uint64_t> rows = row_bits_;
+  std::size_t rank = 0;
+  for (std::size_t c = 0; c < cols_ && rank < rows.size(); ++c) {
+    const std::uint64_t bit = std::uint64_t{1} << c;
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && !(rows[pivot] & bit)) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      if (r != rank && (rows[r] & bit)) rows[r] ^= rows[rank];
+    ++rank;
+  }
+  return rank;
+}
+
+BitMatrix BitMatrix::inverse() const {
+  require(rows_ == cols_, "BitMatrix::inverse: matrix must be square");
+  const std::size_t n = rows_;
+  std::vector<std::uint64_t> a = row_bits_;
+  std::vector<std::uint64_t> inv(n);
+  for (std::size_t i = 0; i < n; ++i) inv[i] = std::uint64_t{1} << i;
+
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::uint64_t bit = std::uint64_t{1} << c;
+    std::size_t pivot = c;
+    while (pivot < n && !(a[pivot] & bit)) ++pivot;
+    require(pivot < n, "BitMatrix::inverse: matrix is singular");
+    std::swap(a[c], a[pivot]);
+    std::swap(inv[c], inv[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r != c && (a[r] & bit)) {
+        a[r] ^= a[c];
+        inv[r] ^= inv[c];
+      }
+    }
+  }
+  BitMatrix out(n, n);
+  out.row_bits_ = inv;
+  return out;
+}
+
+BitMatrix BitMatrix::transpose() const {
+  BitMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (get(r, c)) out.set(c, r, true);
+  return out;
+}
+
+std::string BitMatrix::to_string() const {
+  std::string s;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) s += get(r, c) ? '1' : '0';
+    s += '\n';
+  }
+  return s;
+}
+
+BitMatrix matrix_from_columns(std::size_t rows,
+                              const std::vector<std::uint64_t>& columns) {
+  BitMatrix m(rows, columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c)
+    for (std::size_t r = 0; r < rows; ++r)
+      if ((columns[c] >> r) & 1u) m.set(r, c, true);
+  return m;
+}
+
+}  // namespace sca::gf

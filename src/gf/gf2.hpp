@@ -1,0 +1,69 @@
+// Linear algebra over GF(2) on small dimensions (<= 64).
+//
+// Used for: the AES Sbox affine transformation, basis-change matrices between
+// the AES polynomial representation of GF(2^8) and the tower-field
+// representation, and synthesizing XOR networks from linear maps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sca::gf {
+
+/// A rows x cols matrix over GF(2). Each row is stored as the low `cols`
+/// bits of a uint64_t (bit j of row i = entry (i, j)).
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// Zero matrix of the given shape. rows, cols must each be <= 64.
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  static BitMatrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool v);
+
+  /// Raw row bits (low `cols` bits valid).
+  std::uint64_t row(std::size_t r) const;
+  void set_row(std::size_t r, std::uint64_t bits);
+
+  /// Matrix-vector product: y = M * x, where x is a bit-vector packed in a
+  /// uint64_t (bit j = component j). Result packed the same way.
+  std::uint64_t apply(std::uint64_t x) const;
+
+  /// Matrix product (this * rhs). Requires cols() == rhs.rows().
+  BitMatrix operator*(const BitMatrix& rhs) const;
+
+  bool operator==(const BitMatrix& rhs) const = default;
+
+  /// Rank via Gaussian elimination.
+  std::size_t rank() const;
+
+  bool invertible() const { return rows_ == cols_ && rank() == rows_; }
+
+  /// Inverse via Gauss-Jordan. Throws sca::common::Error if singular or
+  /// non-square.
+  BitMatrix inverse() const;
+
+  BitMatrix transpose() const;
+
+  /// Human-readable 0/1 grid, one row per line.
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint64_t> row_bits_;
+};
+
+/// Builds the matrix whose i-th column is `columns[i]` (packed bit-vectors of
+/// length `rows`).
+BitMatrix matrix_from_columns(std::size_t rows,
+                              const std::vector<std::uint64_t>& columns);
+
+}  // namespace sca::gf

@@ -1,0 +1,46 @@
+#include "src/gf/gf256.hpp"
+
+#include <initializer_list>
+
+namespace sca::gf {
+
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) {
+  unsigned product = 0;
+  unsigned aa = a;
+  unsigned bb = b;
+  while (bb) {
+    if (bb & 1u) product ^= aa;
+    bb >>= 1;
+    aa <<= 1;
+    if (aa & 0x100u) aa ^= kAesPoly;
+  }
+  return static_cast<std::uint8_t>(product);
+}
+
+std::uint8_t gf256_pow(std::uint8_t a, unsigned n) {
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  while (n) {
+    if (n & 1u) result = gf256_mul(result, base);
+    base = gf256_mul(base, base);
+    n >>= 1;
+  }
+  return result;
+}
+
+std::uint8_t gf256_inv(std::uint8_t a) {
+  if (a == 0) return 0;
+  // Fermat: a^(2^8 - 2) = a^254.
+  return gf256_pow(a, 254);
+}
+
+bool gf256_is_generator(std::uint8_t g) {
+  if (g == 0) return false;
+  // Order of GF(256)* is 255 = 3 * 5 * 17; g generates iff g^(255/p) != 1
+  // for each prime divisor p.
+  for (unsigned d : {255u / 3u, 255u / 5u, 255u / 17u})
+    if (gf256_pow(g, d) == 1) return false;
+  return true;
+}
+
+}  // namespace sca::gf

@@ -1,0 +1,28 @@
+// Arithmetic in GF(2^8) with the AES reduction polynomial
+// x^8 + x^4 + x^3 + x + 1 (0x11B).
+//
+// This is the "golden" value-level arithmetic against which every generated
+// multiplier/inverter circuit is cross-checked exhaustively.
+#pragma once
+
+#include <cstdint>
+
+namespace sca::gf {
+
+/// AES reduction polynomial, including the x^8 term.
+inline constexpr unsigned kAesPoly = 0x11B;
+
+/// Product in GF(2^8) / 0x11B (carry-less multiply + reduction).
+std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b);
+
+/// a^n in GF(2^8) by square-and-multiply (n interpreted mod 255 for a != 0).
+std::uint8_t gf256_pow(std::uint8_t a, unsigned n);
+
+/// Multiplicative inverse; by the AES convention gf256_inv(0) == 0
+/// (0 is treated as its own "inverse", which the Sbox relies on).
+std::uint8_t gf256_inv(std::uint8_t a);
+
+/// True iff `g` generates the multiplicative group GF(2^8)*.
+bool gf256_is_generator(std::uint8_t g);
+
+}  // namespace sca::gf

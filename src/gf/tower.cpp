@@ -1,0 +1,166 @@
+#include "src/gf/tower.hpp"
+
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/gf/gf256.hpp"
+
+namespace sca::gf {
+
+using common::require;
+
+// --- GF(2^2) -----------------------------------------------------------------
+
+std::uint8_t gf4_mul(std::uint8_t a, std::uint8_t b) {
+  const std::uint8_t a0 = a & 1, a1 = (a >> 1) & 1;
+  const std::uint8_t b0 = b & 1, b1 = (b >> 1) & 1;
+  // (a1 w + a0)(b1 w + b0) with w^2 = w + 1.
+  const std::uint8_t hi = (a1 & b0) ^ (a0 & b1) ^ (a1 & b1);
+  const std::uint8_t lo = (a0 & b0) ^ (a1 & b1);
+  return static_cast<std::uint8_t>((hi << 1) | lo);
+}
+
+std::uint8_t gf4_sq(std::uint8_t a) {
+  // Frobenius: fixes {0,1}, swaps w and w+1.
+  const std::uint8_t a0 = a & 1, a1 = (a >> 1) & 1;
+  return static_cast<std::uint8_t>((a1 << 1) | (a0 ^ a1));
+}
+
+std::uint8_t gf4_inv(std::uint8_t a) {
+  // a^3 = 1 for a != 0, so a^-1 = a^2; squaring fixes 0.
+  return gf4_sq(a);
+}
+
+std::uint8_t gf4_mul_w(std::uint8_t a) {
+  const std::uint8_t a0 = a & 1, a1 = (a >> 1) & 1;
+  // w * (a1 w + a0) = (a1 + a0) w + a1.
+  return static_cast<std::uint8_t>(((a0 ^ a1) << 1) | a1);
+}
+
+// --- GF(2^4) = GF(2^2)[x] / (x^2 + x + w) -------------------------------------
+
+std::uint8_t gf16_mul(std::uint8_t a, std::uint8_t b) {
+  const std::uint8_t a0 = a & 0b11, a1 = (a >> 2) & 0b11;
+  const std::uint8_t b0 = b & 0b11, b1 = (b >> 2) & 0b11;
+  const std::uint8_t hh = gf4_mul(a1, b1);
+  const std::uint8_t hi =
+      static_cast<std::uint8_t>(gf4_mul(a1, b0) ^ gf4_mul(a0, b1) ^ hh);
+  const std::uint8_t lo = static_cast<std::uint8_t>(gf4_mul(a0, b0) ^
+                                                    gf4_mul_w(hh));
+  return static_cast<std::uint8_t>((hi << 2) | lo);
+}
+
+std::uint8_t gf16_sq(std::uint8_t a) {
+  const std::uint8_t a0 = a & 0b11, a1 = (a >> 2) & 0b11;
+  const std::uint8_t h = gf4_sq(a1);
+  const std::uint8_t hi = h;
+  const std::uint8_t lo = static_cast<std::uint8_t>(gf4_sq(a0) ^ gf4_mul_w(h));
+  return static_cast<std::uint8_t>((hi << 2) | lo);
+}
+
+std::uint8_t gf16_inv(std::uint8_t a) {
+  const std::uint8_t a0 = a & 0b11, a1 = (a >> 2) & 0b11;
+  // Norm of a1 x + a0 over GF(2^2): N = w a1^2 + a0^2 + a0 a1.
+  const std::uint8_t norm = static_cast<std::uint8_t>(
+      gf4_mul_w(gf4_sq(a1)) ^ gf4_sq(a0) ^ gf4_mul(a0, a1));
+  const std::uint8_t ninv = gf4_inv(norm);
+  const std::uint8_t hi = gf4_mul(a1, ninv);
+  const std::uint8_t lo = gf4_mul(static_cast<std::uint8_t>(a0 ^ a1), ninv);
+  return static_cast<std::uint8_t>((hi << 2) | lo);
+}
+
+std::uint8_t gf16_mul_lambda(std::uint8_t a) { return gf16_mul(a, kLambda); }
+
+// --- GF(2^8) = GF(2^4)[y] / (y^2 + y + lambda) --------------------------------
+
+std::uint8_t tower_mul(std::uint8_t a, std::uint8_t b) {
+  const std::uint8_t a0 = a & 0x0F, a1 = (a >> 4) & 0x0F;
+  const std::uint8_t b0 = b & 0x0F, b1 = (b >> 4) & 0x0F;
+  const std::uint8_t hh = gf16_mul(a1, b1);
+  const std::uint8_t hi =
+      static_cast<std::uint8_t>(gf16_mul(a1, b0) ^ gf16_mul(a0, b1) ^ hh);
+  const std::uint8_t lo =
+      static_cast<std::uint8_t>(gf16_mul(a0, b0) ^ gf16_mul_lambda(hh));
+  return static_cast<std::uint8_t>((hi << 4) | lo);
+}
+
+std::uint8_t tower_sq(std::uint8_t a) { return tower_mul(a, a); }
+
+std::uint8_t tower_inv(std::uint8_t a) {
+  const std::uint8_t a0 = a & 0x0F, a1 = (a >> 4) & 0x0F;
+  // Norm over GF(2^4): N = lambda a1^2 + a0^2 + a0 a1; then
+  // (a1 y + a0)^-1 = (a1 N^-1) y + (a0 + a1) N^-1. Zero maps to zero since
+  // every sub-operation fixes zero.
+  const std::uint8_t norm = static_cast<std::uint8_t>(
+      gf16_mul_lambda(gf16_sq(a1)) ^ gf16_sq(a0) ^ gf16_mul(a0, a1));
+  const std::uint8_t ninv = gf16_inv(norm);
+  const std::uint8_t hi = gf16_mul(a1, ninv);
+  const std::uint8_t lo = gf16_mul(static_cast<std::uint8_t>(a0 ^ a1), ninv);
+  return static_cast<std::uint8_t>((hi << 4) | lo);
+}
+
+// --- Basis change -------------------------------------------------------------
+
+namespace {
+
+TowerContext build_tower_context() {
+  // The polynomial y^2 + y + lambda must be irreducible over GF(2^4), i.e.
+  // have no root; otherwise the "tower" is not a field and everything below
+  // would silently produce garbage.
+  for (unsigned a = 0; a < 16; ++a) {
+    const std::uint8_t v = static_cast<std::uint8_t>(
+        gf16_sq(static_cast<std::uint8_t>(a)) ^ a ^ kLambda);
+    require(v != 0, "tower: y^2 + y + lambda is reducible over GF(2^4)");
+  }
+
+  // Find the smallest element t of the tower field that is a root of the AES
+  // polynomial X^8 + X^4 + X^3 + X + 1. Mapping the AES class of X to t
+  // extends linearly to a field isomorphism.
+  int root = -1;
+  for (unsigned t = 2; t < 256; ++t) {
+    const std::uint8_t tb = static_cast<std::uint8_t>(t);
+    std::uint8_t p = 1;  // X^0 term
+    std::uint8_t power = tb;
+    // Accumulate terms of X^8 + X^4 + X^3 + X + 1 at X = t.
+    for (unsigned deg = 1; deg <= 8; ++deg) {
+      if (deg == 1 || deg == 3 || deg == 4 || deg == 8) p ^= power;
+      power = tower_mul(power, tb);
+    }
+    if (p == 0) {
+      root = static_cast<int>(t);
+      break;
+    }
+  }
+  require(root >= 0, "tower: AES polynomial has no root in the tower field");
+
+  std::vector<std::uint64_t> columns(8);
+  std::uint8_t power = 1;
+  for (std::size_t i = 0; i < 8; ++i) {
+    columns[i] = power;
+    power = tower_mul(power, static_cast<std::uint8_t>(root));
+  }
+  TowerContext ctx{matrix_from_columns(8, columns), BitMatrix{}};
+  require(ctx.to_tower.invertible(), "tower: basis-change matrix singular");
+  ctx.from_tower = ctx.to_tower.inverse();
+
+  // Sanity: the map must be multiplicative (spot-checked here, exhaustively
+  // checked in unit tests).
+  for (unsigned a : {0x02u, 0x53u, 0xCAu, 0xFFu})
+    for (unsigned b : {0x01u, 0x10u, 0x8Du, 0xF3u}) {
+      const std::uint8_t lhs = ctx.aes_to_tower(
+          gf256_mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)));
+      const std::uint8_t rhs = tower_mul(ctx.aes_to_tower(a & 0xFF),
+                                         ctx.aes_to_tower(b & 0xFF));
+      require(lhs == rhs, "tower: basis change is not multiplicative");
+    }
+  return ctx;
+}
+
+}  // namespace
+
+const TowerContext& TowerContext::instance() {
+  static const TowerContext ctx = build_tower_context();
+  return ctx;
+}
+
+}  // namespace sca::gf

@@ -1,0 +1,73 @@
+// Tower-field representation GF(((2^2)^2)^2) of GF(2^8), and the basis-change
+// isomorphism to/from the AES polynomial representation.
+//
+// The masked Sbox performs its "local" GF(2^8) inversion with a combinational
+// tower-field inverter in the style of Boyar-Peralta / Canright: map to the
+// tower basis, invert there (where inversion decomposes into GF(2^4) and
+// GF(2^2) operations), and map back. This module provides the *value-level*
+// tower arithmetic and the change-of-basis matrices; the gate-level circuit
+// generator in src/gadgets mirrors these formulas structurally.
+//
+// Tower construction:
+//   GF(2^2)  = GF(2)[w]    / (w^2 + w + 1)
+//   GF(2^4)  = GF(2^2)[x]  / (x^2 + x + phi),     phi chosen irreducible
+//   GF(2^8)  = GF(2^4)[y]  / (y^2 + y + lambda),  lambda chosen irreducible
+// Elements are packed little-endian: a GF(2^8) element is (a1 : a0) with
+// a0 = low nibble (coefficient of 1) and a1 = high nibble (coefficient of y).
+#pragma once
+
+#include <cstdint>
+
+#include "src/gf/gf2.hpp"
+
+namespace sca::gf {
+
+// --- GF(2^2), elements are 2-bit values b1*w + b0 ---------------------------
+std::uint8_t gf4_mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t gf4_sq(std::uint8_t a);
+std::uint8_t gf4_inv(std::uint8_t a);  // 0 maps to 0
+/// Multiplication by the constant w (0b10), used as "scale by phi".
+std::uint8_t gf4_mul_w(std::uint8_t a);
+
+// --- GF(2^4) over GF(2^2), elements are 4-bit values (hi:lo) -----------------
+/// The constant phi in x^2 + x + phi. Fixed to w (0b10), which is irreducible.
+inline constexpr std::uint8_t kPhi = 0b10;
+
+std::uint8_t gf16_mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t gf16_sq(std::uint8_t a);
+std::uint8_t gf16_inv(std::uint8_t a);  // 0 maps to 0
+/// Multiplication by the tower constant lambda, see kLambda.
+std::uint8_t gf16_mul_lambda(std::uint8_t a);
+
+// --- GF(2^8) over GF(2^4), elements are 8-bit values (hi nibble : lo) --------
+/// The constant lambda in y^2 + y + lambda. Chosen at namespace scope as the
+/// smallest value making the polynomial irreducible over GF(2^4) with phi=w;
+/// validated by unit tests and by TowerContext construction.
+inline constexpr std::uint8_t kLambda = 0b1000;  // x * 1 in GF(2^4) == w^... see tower.cpp
+
+std::uint8_t tower_mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t tower_sq(std::uint8_t a);
+std::uint8_t tower_inv(std::uint8_t a);  // 0 maps to 0
+
+/// Change-of-basis matrices between the AES polynomial representation and the
+/// tower representation, found by root-matching: the matrix A maps an AES-
+/// representation byte (bit i = coefficient of X^i) to the tower
+/// representation, and A_inv maps back. Both are GF(2)-linear bijections with
+///   tower_mul(A(a), A(b)) == A(gf256_mul(a, b)).
+struct TowerContext {
+  BitMatrix to_tower;    // 8x8, AES rep -> tower rep
+  BitMatrix from_tower;  // 8x8, tower rep -> AES rep
+
+  /// Builds the context by searching for a root of the AES polynomial inside
+  /// the tower field. Deterministic (smallest root is used).
+  static const TowerContext& instance();
+
+  std::uint8_t aes_to_tower(std::uint8_t a) const {
+    return static_cast<std::uint8_t>(to_tower.apply(a));
+  }
+  std::uint8_t tower_to_aes(std::uint8_t t) const {
+    return static_cast<std::uint8_t>(from_tower.apply(t));
+  }
+};
+
+}  // namespace sca::gf

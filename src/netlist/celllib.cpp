@@ -1,0 +1,86 @@
+#include "src/netlist/celllib.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace sca::netlist {
+
+using common::require;
+
+const CellLibrary& CellLibrary::nangate45() {
+  static const CellLibrary lib = [] {
+    CellLibrary l;
+    // Areas from the NanGate 45 nm Open Cell Library datasheet (X1 drive).
+    // The GE unit below is NAND2_X1 = 0.798 um^2.
+    auto add = [&l](const char* name, GateKind fn, double area) {
+      l.cells_[name] = Cell{name, fn, area};
+    };
+    add("INV_X1", GateKind::kNot, 0.532);
+    add("BUF_X1", GateKind::kBuf, 0.798);
+    add("AND2_X1", GateKind::kAnd, 1.064);
+    add("NAND2_X1", GateKind::kNand, 0.798);
+    add("OR2_X1", GateKind::kOr, 1.064);
+    add("NOR2_X1", GateKind::kNor, 0.798);
+    add("XOR2_X1", GateKind::kXor, 1.596);
+    add("XNOR2_X1", GateKind::kXnor, 1.596);
+    add("MUX2_X1", GateKind::kMux, 1.862);
+    add("DFF_X1", GateKind::kReg, 4.522);
+    return l;
+  }();
+  return lib;
+}
+
+const Cell& CellLibrary::cell_for(GateKind kind) const {
+  for (const auto& [name, cell] : cells_)
+    if (cell.function == kind) return cell;
+  require(false, std::string("CellLibrary: no cell implements ") +
+                     std::string(gate_kind_name(kind)));
+  throw common::Error("unreachable");
+}
+
+double CellLibrary::nand2_area() const {
+  return cell_for(GateKind::kNand).area_um2;
+}
+
+AreaReport map_and_report(const Netlist& nl, const CellLibrary& lib) {
+  AreaReport report;
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    const GateKind k = nl.kind(id);
+    switch (k) {
+      case GateKind::kInput:
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        continue;
+      default:
+        break;
+    }
+    const Cell& cell = lib.cell_for(k);
+    report.cell_counts[cell.name] += 1;
+    report.total_area_um2 += cell.area_um2;
+    if (k == GateKind::kReg)
+      report.sequential_cells += 1;
+    else
+      report.combinational_cells += 1;
+  }
+  report.gate_equivalents = report.total_area_um2 / lib.nand2_area();
+  return report;
+}
+
+std::string to_string(const AreaReport& report) {
+  std::ostringstream os;
+  os << "cell        count\n";
+  os << "----------  -----\n";
+  for (const auto& [name, count] : report.cell_counts) {
+    os << name;
+    for (std::size_t i = name.size(); i < 12; ++i) os << ' ';
+    os << count << "\n";
+  }
+  os << "combinational cells: " << report.combinational_cells << "\n";
+  os << "sequential cells:    " << report.sequential_cells << "\n";
+  os << "total area:          " << report.total_area_um2 << " um^2\n";
+  os << "gate equivalents:    " << report.gate_equivalents << " GE\n";
+  return os.str();
+}
+
+}  // namespace sca::netlist

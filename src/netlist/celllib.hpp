@@ -1,0 +1,57 @@
+// Standard-cell library abstraction and area reporting.
+//
+// The paper synthesizes to the NanGate 45 nm open cell library. Our gadget
+// builders already emit the hand-structured gates hierarchical synthesis
+// preserves, so technology mapping is a 1:1 function-to-cell assignment; the
+// value of this module is the cost reporting (gate-equivalents), matching how
+// the original CHES 2018 paper reports implementation cost.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/netlist/ir.hpp"
+
+namespace sca::netlist {
+
+/// One library cell: a name, the gate function it implements, and its area.
+struct Cell {
+  std::string name;       ///< e.g. "NAND2_X1"
+  GateKind function;      ///< gate kind it implements
+  double area_um2 = 0.0;  ///< silicon area
+};
+
+class CellLibrary {
+ public:
+  /// A NanGate 45 nm-like library with one X1 cell per gate function.
+  static const CellLibrary& nangate45();
+
+  /// Cell implementing the given function; throws if the library lacks one.
+  const Cell& cell_for(GateKind kind) const;
+
+  /// Area of the 2-input NAND, the unit of the gate-equivalent (GE) metric.
+  double nand2_area() const;
+
+  const std::map<std::string, Cell>& cells() const { return cells_; }
+
+ private:
+  std::map<std::string, Cell> cells_;
+};
+
+/// Area summary of a mapped netlist.
+struct AreaReport {
+  std::map<std::string, std::size_t> cell_counts;  ///< instances per cell name
+  double total_area_um2 = 0.0;
+  double gate_equivalents = 0.0;
+  std::size_t sequential_cells = 0;
+  std::size_t combinational_cells = 0;
+};
+
+/// Maps every gate of `nl` onto `lib` 1:1 and accumulates cost. Inputs and
+/// constants are free (they map to ports / tie cells outside our model).
+AreaReport map_and_report(const Netlist& nl, const CellLibrary& lib);
+
+/// Renders the report as an aligned text table.
+std::string to_string(const AreaReport& report);
+
+}  // namespace sca::netlist

@@ -1,0 +1,91 @@
+#include "src/netlist/cone.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.hpp"
+
+namespace sca::netlist {
+
+using common::DynamicBitset;
+
+namespace {
+
+bool is_stable_kind(GateKind k) {
+  return k == GateKind::kInput || k == GateKind::kReg;
+}
+
+bool is_const_kind(GateKind k) {
+  return k == GateKind::kConst0 || k == GateKind::kConst1;
+}
+
+}  // namespace
+
+StableSupport::StableSupport(const Netlist& nl) : nl_(&nl) {
+  const std::size_t n = nl.size();
+  stable_index_.assign(n, std::numeric_limits<std::size_t>::max());
+  for (SignalId id = 0; id < n; ++id) {
+    if (is_stable_kind(nl.kind(id))) {
+      stable_index_[id] = stable_points_.size();
+      stable_points_.push_back(id);
+    }
+  }
+  const std::size_t num_stable = stable_points_.size();
+  support_.assign(n, DynamicBitset(num_stable));
+  // Combinational gates only reference earlier ids (validated invariant), so
+  // a single forward pass suffices.
+  for (SignalId id = 0; id < n; ++id) {
+    const Gate& g = nl.gate(id);
+    if (is_stable_kind(g.kind)) {
+      support_[id].set(stable_index_[id]);
+      continue;
+    }
+    if (is_const_kind(g.kind)) continue;
+    const std::size_t arity = gate_arity(g.kind);
+    for (std::size_t i = 0; i < arity; ++i) support_[id] |= support_[g.fanin[i]];
+  }
+}
+
+std::size_t StableSupport::stable_index(SignalId signal) const {
+  SCA_ASSERT(signal < stable_index_.size(), "stable_index: signal out of range");
+  const std::size_t idx = stable_index_[signal];
+  common::require(idx != std::numeric_limits<std::size_t>::max(),
+                  "stable_index: signal is not a stable point");
+  return idx;
+}
+
+bool StableSupport::is_stable(SignalId signal) const {
+  SCA_ASSERT(signal < stable_index_.size(), "is_stable: signal out of range");
+  return stable_index_[signal] != std::numeric_limits<std::size_t>::max();
+}
+
+const DynamicBitset& StableSupport::support(SignalId signal) const {
+  SCA_ASSERT(signal < support_.size(), "support: signal out of range");
+  return support_[signal];
+}
+
+std::vector<SignalId> combinational_cone(const Netlist& nl, SignalId signal) {
+  std::vector<SignalId> cone;
+  std::vector<SignalId> stack = {signal};
+  std::vector<bool> seen(nl.size(), false);
+  while (!stack.empty()) {
+    const SignalId id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = true;
+    cone.push_back(id);
+    const Gate& g = nl.gate(id);
+    // Do not cross stable boundaries except at the probed signal itself.
+    if (id != signal && (is_stable_kind(g.kind) || is_const_kind(g.kind)))
+      continue;
+    if (is_const_kind(g.kind)) continue;
+    if (g.kind == GateKind::kInput) continue;
+    if (g.kind == GateKind::kReg && id == signal) continue;  // stop at D
+    const std::size_t arity = gate_arity(g.kind);
+    for (std::size_t i = 0; i < arity; ++i) stack.push_back(g.fanin[i]);
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+}  // namespace sca::netlist

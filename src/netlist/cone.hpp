@@ -1,0 +1,52 @@
+// Combinational fan-in cone analysis over a netlist.
+//
+// The robust (glitch-extended) probing model says: a probe on a combinational
+// signal observes, due to glitches, *all stable signals* feeding it through
+// combinational logic — stable signals being register outputs and primary
+// inputs. This module computes that support set for every signal once, as
+// bitsets over a dense index of "stable points", which the evaluation engine
+// and exact verifier then consume.
+#pragma once
+
+#include <vector>
+
+#include "src/common/dynamic_bitset.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::netlist {
+
+class StableSupport {
+ public:
+  /// Precomputes supports for every signal of `nl`. The netlist must outlive
+  /// this object and must not change afterwards.
+  explicit StableSupport(const Netlist& nl);
+
+  /// The stable points (inputs and registers), ascending by signal id. Bit i
+  /// of every support bitset refers to stable_points()[i].
+  const std::vector<SignalId>& stable_points() const { return stable_points_; }
+
+  /// Dense index of a stable point; throws if `signal` is not stable.
+  std::size_t stable_index(SignalId signal) const;
+
+  /// True if the signal is an input or register output.
+  bool is_stable(SignalId signal) const;
+
+  /// The set of stable points in the combinational fan-in cone of `signal`
+  /// (for a stable signal: the singleton of itself; for constants: empty).
+  const common::DynamicBitset& support(SignalId signal) const;
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<SignalId> stable_points_;
+  std::vector<std::size_t> stable_index_;  // per signal; SIZE_MAX if not stable
+  std::vector<common::DynamicBitset> support_;
+};
+
+/// All signals in the transitive combinational fan-in of `signal`, including
+/// itself, excluding anything behind a register boundary. Useful for
+/// extracting the combinational cloud a probe "sees" when reporting leaks.
+std::vector<SignalId> combinational_cone(const Netlist& nl, SignalId signal);
+
+}  // namespace sca::netlist

@@ -1,0 +1,212 @@
+// Gate-level netlist intermediate representation.
+//
+// This is the circuit model the whole system revolves around. It matches the
+// information content a probing evaluation tool (PROLEAD, SILVER, ...) reads
+// from a synthesized Verilog netlist:
+//   - combinational cells with Boolean functions,
+//   - D flip-flops (one global implicit clock, synchronous, init 0),
+//   - primary inputs labeled with their security role (share of a secret,
+//     fresh randomness, public control),
+//   - named primary outputs.
+//
+// Signals are identified by dense 32-bit ids; signal id == index of the gate
+// driving it, so the netlist is an SSA-like gate array. Hierarchical names
+// ("sbox.kron.G7.cross0") are attached for reporting; the evaluation engine
+// uses them to localize leakage the way the paper points at gate G7.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sca::netlist {
+
+using SignalId = std::uint32_t;
+inline constexpr SignalId kNoSignal = 0xFFFFFFFFu;
+
+/// Cell/function of a gate. kInput and kReg are the "stable" signal sources
+/// of the robust probing model; everything else is combinational.
+enum class GateKind : std::uint8_t {
+  kConst0,
+  kConst1,
+  kInput,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,  ///< fanin = {select, a(sel=0), b(sel=1)}
+  kReg,  ///< D flip-flop; fanin[0] = D
+};
+
+/// Number of fanin operands a gate kind takes.
+constexpr std::size_t gate_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+    case GateKind::kReg:
+      return 1;
+    case GateKind::kMux:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+/// Short mnemonic ("AND", "DFF", ...) for exports and reports.
+std::string_view gate_kind_name(GateKind kind);
+
+/// Security role of a primary input, as declared to the evaluation engine.
+enum class InputRole : std::uint8_t {
+  kShare,    ///< one bit of one Boolean share of a secret
+  kRandom,   ///< fresh mask bit, redrawn uniformly every clock cycle
+  kControl,  ///< public control/constant input
+};
+
+/// Labeling of a share input: bit `bit` of share `share` of secret group
+/// `secret`. Secret groups number the independent secrets (e.g. the 8-bit
+/// Sbox input is one group with bits 0..7 and shares 0..d).
+struct ShareLabel {
+  std::uint32_t secret = 0;
+  std::uint32_t share = 0;
+  std::uint32_t bit = 0;
+};
+
+struct Gate {
+  GateKind kind = GateKind::kConst0;
+  std::array<SignalId, 3> fanin = {kNoSignal, kNoSignal, kNoSignal};
+};
+
+/// Metadata describing one primary input.
+struct InputInfo {
+  SignalId signal = kNoSignal;
+  InputRole role = InputRole::kControl;
+  ShareLabel share;  ///< valid iff role == kShare
+};
+
+/// A named primary output.
+struct OutputInfo {
+  SignalId signal = kNoSignal;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+
+  // --- construction ----------------------------------------------------------
+
+  /// Adds a constant driver.
+  SignalId constant(bool value);
+
+  /// Adds a primary input with the given role; share inputs carry a label.
+  SignalId add_input(InputRole role, std::string name,
+                     ShareLabel label = ShareLabel{});
+
+  /// Adds a combinational gate or register. Arity is checked against `kind`,
+  /// and fanins must already exist (no forward references except via
+  /// make_reg_placeholder / connect_reg below).
+  SignalId add_gate(GateKind kind, SignalId a = kNoSignal,
+                    SignalId b = kNoSignal, SignalId c = kNoSignal);
+
+  // Convenience builders.
+  SignalId buf(SignalId a) { return add_gate(GateKind::kBuf, a); }
+  SignalId not_(SignalId a) { return add_gate(GateKind::kNot, a); }
+  SignalId and_(SignalId a, SignalId b) { return add_gate(GateKind::kAnd, a, b); }
+  SignalId nand_(SignalId a, SignalId b) { return add_gate(GateKind::kNand, a, b); }
+  SignalId or_(SignalId a, SignalId b) { return add_gate(GateKind::kOr, a, b); }
+  SignalId nor_(SignalId a, SignalId b) { return add_gate(GateKind::kNor, a, b); }
+  SignalId xor_(SignalId a, SignalId b) { return add_gate(GateKind::kXor, a, b); }
+  SignalId xnor_(SignalId a, SignalId b) { return add_gate(GateKind::kXnor, a, b); }
+  SignalId mux(SignalId sel, SignalId a0, SignalId a1) {
+    return add_gate(GateKind::kMux, sel, a0, a1);
+  }
+  SignalId reg(SignalId d) { return add_gate(GateKind::kReg, d); }
+
+  /// Adds a register whose D input is connected later (for feedback loops,
+  /// e.g. FSM state). Must be resolved with connect_reg before validate().
+  SignalId make_reg_placeholder();
+  void connect_reg(SignalId reg_signal, SignalId d);
+
+  /// Declares a named primary output.
+  void add_output(std::string name, SignalId signal);
+
+  // --- naming / hierarchy -----------------------------------------------------
+
+  /// Pushes/pops a hierarchical scope; names given to signals while a scope
+  /// is active are prefixed with "scope1.scope2.".
+  void push_scope(std::string_view scope);
+  void pop_scope();
+
+  /// Current scope prefix including trailing '.' (empty at top level).
+  std::string scope_prefix() const;
+
+  /// Attaches a debug name to a signal (prefixed with the current scope).
+  void name_signal(SignalId signal, std::string_view name);
+
+  /// Best-effort name: explicit name, or "<kind>#<id>".
+  std::string signal_name(SignalId signal) const;
+
+  /// The explicit name, if any was attached.
+  std::optional<std::string> explicit_name(SignalId signal) const;
+
+  // --- inspection ------------------------------------------------------------
+
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(SignalId id) const;
+  GateKind kind(SignalId id) const { return gate(id).kind; }
+
+  const std::vector<InputInfo>& inputs() const { return inputs_; }
+  const std::vector<OutputInfo>& outputs() const { return outputs_; }
+
+  /// All register signals, ascending.
+  std::vector<SignalId> registers() const;
+
+  /// Count of gates of a given kind.
+  std::size_t count(GateKind kind) const;
+
+  /// Number of combinational cells (everything except inputs/consts/regs).
+  std::size_t combinational_count() const;
+
+  /// Number of distinct secret groups declared by share inputs (max+1).
+  std::uint32_t secret_group_count() const;
+
+  /// Number of shares declared for a secret group (max share index + 1).
+  std::uint32_t share_count(std::uint32_t secret) const;
+
+  /// Number of random inputs.
+  std::size_t random_input_count() const;
+
+  // --- structural checks / ordering -------------------------------------------
+
+  /// Validates the netlist: all fanins resolved and in range, no placeholder
+  /// registers left dangling, no combinational cycles. Throws on violation.
+  void validate() const;
+
+  /// Topological order of all signals where registers and inputs come before
+  /// any combinational gate that reads them (registers read their D through
+  /// the *previous* cycle, so they are sources in the combinational DAG).
+  /// Throws if a combinational cycle exists.
+  std::vector<SignalId> topological_order() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<InputInfo> inputs_;
+  std::vector<OutputInfo> outputs_;
+  std::vector<std::string> scopes_;
+  std::unordered_map<SignalId, std::string> names_;
+  std::vector<bool> reg_placeholder_;  // parallels gates_; true = unconnected
+};
+
+}  // namespace sca::netlist

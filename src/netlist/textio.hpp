@@ -1,0 +1,31 @@
+// A small line-based text format ("SNL", simple netlist) for persisting and
+// exchanging netlists, with a lossless writer/parser pair.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//   input   <id> control
+//   input   <id> random
+//   input   <id> share <secret> <share> <bit>
+//   const   <id> 0|1
+//   gate    <id> <KIND> <operand-id>...       KIND in {BUF,NOT,AND,NAND,OR,
+//                                              NOR,XOR,XNOR,MUX}
+//   reg     <id> <d-operand-id>               d may reference a later id
+//   output  <name> <id>
+//   name    <id> <string>                     optional debug name
+// Ids are arbitrary identifiers; statement order defines signal order, and
+// only registers may reference ids defined later (feedback).
+#pragma once
+
+#include <string>
+
+#include "src/netlist/ir.hpp"
+
+namespace sca::netlist {
+
+/// Serializes `nl` to SNL text.
+std::string write_snl(const Netlist& nl);
+
+/// Parses SNL text into a netlist. Throws sca::common::Error with a line
+/// number on malformed input.
+Netlist parse_snl(const std::string& text);
+
+}  // namespace sca::netlist

@@ -1,0 +1,96 @@
+#include "src/sim/simulator.hpp"
+
+#include "src/common/check.hpp"
+
+namespace sca::sim {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::SignalId;
+
+Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
+  nl.validate();
+  values_.assign(nl.size(), 0);
+  regs_ = nl.registers();
+  reg_next_.assign(regs_.size(), 0);
+  for (SignalId id : nl.topological_order()) {
+    switch (nl.kind(id)) {
+      case GateKind::kInput:
+      case GateKind::kReg:
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        break;  // sources; constants are fixed at reset
+      default:
+        comb_order_.push_back(id);
+    }
+  }
+  reset();
+}
+
+void Simulator::reset() {
+  for (auto& v : values_) v = 0;
+  for (auto& v : reg_next_) v = 0;
+  // Constants hold their value permanently.
+  for (SignalId id = 0; id < nl_->size(); ++id)
+    if (nl_->kind(id) == GateKind::kConst1) values_[id] = ~std::uint64_t{0};
+}
+
+void Simulator::set_input(SignalId input, std::uint64_t lanes) {
+  common::require(input < nl_->size() && nl_->kind(input) == GateKind::kInput,
+                  "Simulator::set_input: signal is not a primary input");
+  values_[input] = lanes;
+}
+
+void Simulator::settle() {
+  for (SignalId id : comb_order_) {
+    const netlist::Gate& g = nl_->gate(id);
+    const std::uint64_t a = values_[g.fanin[0]];
+    switch (g.kind) {
+      case GateKind::kBuf:
+        values_[id] = a;
+        break;
+      case GateKind::kNot:
+        values_[id] = ~a;
+        break;
+      case GateKind::kAnd:
+        values_[id] = a & values_[g.fanin[1]];
+        break;
+      case GateKind::kNand:
+        values_[id] = ~(a & values_[g.fanin[1]]);
+        break;
+      case GateKind::kOr:
+        values_[id] = a | values_[g.fanin[1]];
+        break;
+      case GateKind::kNor:
+        values_[id] = ~(a | values_[g.fanin[1]]);
+        break;
+      case GateKind::kXor:
+        values_[id] = a ^ values_[g.fanin[1]];
+        break;
+      case GateKind::kXnor:
+        values_[id] = ~(a ^ values_[g.fanin[1]]);
+        break;
+      case GateKind::kMux: {
+        const std::uint64_t sel = a;
+        values_[id] =
+            (~sel & values_[g.fanin[1]]) | (sel & values_[g.fanin[2]]);
+        break;
+      }
+      default:
+        SCA_ASSERT(false, "settle: unexpected gate kind in comb order");
+    }
+  }
+}
+
+void Simulator::clock() {
+  for (std::size_t i = 0; i < regs_.size(); ++i)
+    reg_next_[i] = values_[nl_->gate(regs_[i]).fanin[0]];
+  for (std::size_t i = 0; i < regs_.size(); ++i) values_[regs_[i]] = reg_next_[i];
+}
+
+std::uint64_t Simulator::value(SignalId signal) const {
+  SCA_ASSERT(signal < values_.size(), "Simulator::value: signal out of range");
+  return values_[signal];
+}
+
+}  // namespace sca::sim

@@ -1,0 +1,78 @@
+#include "src/sim/trace.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace sca::sim {
+
+using netlist::SignalId;
+
+VcdTrace::VcdTrace(const Simulator& simulator, std::vector<SignalId> signals,
+                   unsigned lane)
+    : simulator_(&simulator), signals_(std::move(signals)), lane_(lane) {
+  common::require(lane < 64, "VcdTrace: lane must be < 64");
+  if (signals_.empty()) {
+    const netlist::Netlist& nl = simulator.netlist();
+    for (SignalId id = 0; id < nl.size(); ++id)
+      if (nl.explicit_name(id)) signals_.push_back(id);
+  }
+  common::require(!signals_.empty(), "VcdTrace: nothing to trace");
+}
+
+void VcdTrace::sample(std::uint64_t time) {
+  common::require(times_.empty() || time > times_.back(),
+                  "VcdTrace::sample: time must increase");
+  times_.push_back(time);
+  std::vector<bool> row;
+  row.reserve(signals_.size());
+  for (SignalId id : signals_)
+    row.push_back(simulator_->value_in_lane(id, lane_));
+  values_.push_back(std::move(row));
+}
+
+namespace {
+
+// VCD identifier codes: printable ASCII 33..126, shortest-first.
+std::string vcd_code(std::size_t index) {
+  std::string code;
+  do {
+    code += static_cast<char>(33 + index % 94);
+    index /= 94;
+  } while (index);
+  return code;
+}
+
+}  // namespace
+
+std::string VcdTrace::render(const std::string& top_module) const {
+  const netlist::Netlist& nl = simulator_->netlist();
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n";
+  os << "$scope module " << top_module << " $end\n";
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    std::string name = nl.signal_name(signals_[i]);
+    for (char& c : name)
+      if (c == ' ') c = '_';
+    os << "$var wire 1 " << vcd_code(i) << " " << name << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<int> last(signals_.size(), -1);
+  for (std::size_t t = 0; t < times_.size(); ++t) {
+    bool emitted_time = false;
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+      const int v = values_[t][i] ? 1 : 0;
+      if (v == last[i]) continue;
+      if (!emitted_time) {
+        os << '#' << times_[t] << '\n';
+        emitted_time = true;
+      }
+      os << v << vcd_code(i) << '\n';
+      last[i] = v;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sca::sim

@@ -1,0 +1,40 @@
+// Value Change Dump (VCD) tracing for the netlist simulator.
+//
+// Records selected signals (one simulation lane) cycle by cycle and renders
+// an IEEE 1364 VCD file loadable by GTKWave & co. — the standard way to
+// debug a pipeline stage that doesn't line up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netlist/ir.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace sca::sim {
+
+class VcdTrace {
+ public:
+  /// Traces `signals` of the simulator's netlist, observing lane `lane`.
+  /// Pass an empty vector to trace every named signal.
+  VcdTrace(const Simulator& simulator, std::vector<netlist::SignalId> signals,
+           unsigned lane = 0);
+
+  /// Samples the current signal values as cycle `time` (call after settle()).
+  void sample(std::uint64_t time);
+
+  /// Renders the collected samples as VCD text.
+  std::string render(const std::string& top_module = "sca") const;
+
+  std::size_t sample_count() const { return times_.size(); }
+
+ private:
+  const Simulator* simulator_;
+  std::vector<netlist::SignalId> signals_;
+  unsigned lane_;
+  std::vector<std::uint64_t> times_;
+  std::vector<std::vector<bool>> values_;  // [sample][signal]
+};
+
+}  // namespace sca::sim

@@ -1,0 +1,137 @@
+#include "src/stats/gtest_stat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+#include "src/stats/pvalue.hpp"
+
+namespace sca::stats {
+
+void ContingencyTable::add(std::uint64_t key, int group, std::uint64_t count) {
+  SCA_ASSERT(group == 0 || group == 1, "ContingencyTable: group must be 0/1");
+  if (counts_.size() >= bin_limit_ && !counts_.contains(key))
+    key = kOverflowKey;
+  counts_[key][static_cast<std::size_t>(group)] += count;
+}
+
+void ContingencyTable::merge(const ContingencyTable& other) {
+  for (const auto& [key, cnt] : other.counts_) {
+    auto& mine = counts_[key];
+    mine[0] += cnt[0];
+    mine[1] += cnt[1];
+  }
+}
+
+std::uint64_t ContingencyTable::group_total(int group) const {
+  SCA_ASSERT(group == 0 || group == 1, "ContingencyTable: group must be 0/1");
+  std::uint64_t total = 0;
+  for (const auto& [key, cnt] : counts_)
+    total += cnt[static_cast<std::size_t>(group)];
+  return total;
+}
+
+namespace {
+
+GTestResult g_test_on_columns(std::vector<std::array<std::uint64_t, 2>> cols,
+                              double min_expected) {
+  GTestResult result;
+  std::uint64_t n0 = 0, n1 = 0;
+  for (const auto& c : cols) {
+    n0 += c[0];
+    n1 += c[1];
+  }
+  result.n_fixed = n0;
+  result.n_random = n1;
+  const double n = static_cast<double>(n0 + n1);
+  if (n0 == 0 || n1 == 0 || cols.size() < 2) {
+    // One group empty or a single bin: no evidence of dependence.
+    result.bins = cols.size();
+    result.df = 0;
+    result.minus_log10_p = 0.0;
+    return result;
+  }
+
+  // Pool low-expectation columns into one residual column so the chi-squared
+  // null stays a good approximation for the G statistic.
+  std::vector<std::array<std::uint64_t, 2>> pooled;
+  std::array<std::uint64_t, 2> residual{0, 0};
+  bool residual_used = false;
+  for (const auto& c : cols) {
+    const double col_total = static_cast<double>(c[0] + c[1]);
+    const double min_exp_in_col =
+        col_total * static_cast<double>(std::min(n0, n1)) / n;
+    if (min_exp_in_col < min_expected) {
+      residual[0] += c[0];
+      residual[1] += c[1];
+      residual_used = true;
+    } else {
+      pooled.push_back(c);
+    }
+  }
+  if (residual_used) pooled.push_back(residual);
+
+  result.bins = pooled.size();
+  if (pooled.size() < 2) {
+    result.df = 0;
+    result.minus_log10_p = 0.0;
+    return result;
+  }
+
+  double g = 0.0;
+  double sum_inv_col = 0.0;
+  for (const auto& c : pooled) {
+    const double col_total = static_cast<double>(c[0] + c[1]);
+    sum_inv_col += 1.0 / col_total;
+    const double e0 = col_total * static_cast<double>(n0) / n;
+    const double e1 = col_total * static_cast<double>(n1) / n;
+    if (c[0] > 0) g += static_cast<double>(c[0]) *
+                       std::log(static_cast<double>(c[0]) / e0);
+    if (c[1] > 0) g += static_cast<double>(c[1]) *
+                       std::log(static_cast<double>(c[1]) / e1);
+  }
+  g *= 2.0;
+  if (g < 0.0) g = 0.0;  // guard tiny negative rounding noise
+
+  // Williams correction: with many sparse columns (expected counts near the
+  // pooling threshold) the raw G statistic is biased a few percent above its
+  // chi-squared null, which at tens of thousands of degrees of freedom is
+  // enough to cross any fixed significance threshold. The correction removes
+  // that bias and is negligible (q ~ 1) for the gross leaks we care about.
+  const double df = static_cast<double>(pooled.size() - 1);
+  const double row_term =
+      n * (1.0 / static_cast<double>(n0) + 1.0 / static_cast<double>(n1)) - 1.0;
+  const double col_term = n * sum_inv_col - 1.0;
+  const double q = 1.0 + row_term * col_term / (6.0 * n * df);
+  if (q > 1.0) g /= q;
+
+  result.g = g;
+  result.df = pooled.size() - 1;
+  result.minus_log10_p = chi2_minus_log10_p(g, result.df);
+  return result;
+}
+
+}  // namespace
+
+GTestResult ContingencyTable::g_test(double min_expected) const {
+  std::vector<std::array<std::uint64_t, 2>> cols;
+  cols.reserve(counts_.size());
+  for (const auto& [key, cnt] : counts_) cols.push_back(cnt);
+  return g_test_on_columns(std::move(cols), min_expected);
+}
+
+GTestResult g_test_two_rows(const std::vector<std::uint64_t>& row_fixed,
+                            const std::vector<std::uint64_t>& row_random,
+                            double min_expected) {
+  common::require(row_fixed.size() == row_random.size(),
+                  "g_test_two_rows: row length mismatch");
+  std::vector<std::array<std::uint64_t, 2>> cols;
+  cols.reserve(row_fixed.size());
+  for (std::size_t i = 0; i < row_fixed.size(); ++i) {
+    if (row_fixed[i] == 0 && row_random[i] == 0) continue;
+    cols.push_back({row_fixed[i], row_random[i]});
+  }
+  return g_test_on_columns(std::move(cols), min_expected);
+}
+
+}  // namespace sca::stats

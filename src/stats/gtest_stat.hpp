@@ -1,0 +1,75 @@
+// G-test (log-likelihood ratio) on 2 x K contingency tables.
+//
+// This is the statistic PROLEAD applies to the fixed-vs-random experiment:
+// the two rows are the "fixed" and "random" simulation groups, the K columns
+// are the distinct values observed by a (glitch/transition-extended) probe
+// set, and the null hypothesis is that the observation distribution does not
+// depend on the group.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sca::stats {
+
+/// Result of a G-test evaluation.
+struct GTestResult {
+  double g = 0.0;               ///< G statistic (2 * sum O ln(O/E)).
+  std::size_t df = 0;           ///< Degrees of freedom.
+  double minus_log10_p = 0.0;   ///< -log10 of the chi-squared p-value.
+  std::size_t bins = 0;         ///< Number of distinct observed values.
+  std::uint64_t n_fixed = 0;    ///< Total count in the fixed group.
+  std::uint64_t n_random = 0;   ///< Total count in the random group.
+};
+
+/// Two-group contingency table keyed by a 64-bit observation key.
+///
+/// Keys are whatever encoding the caller chooses for an observation tuple
+/// (for observations wider than 64 bits, the caller hashes them first; a
+/// hash collision can only ever merge bins, which loses power but never
+/// produces spurious leakage).
+class ContingencyTable {
+ public:
+  /// Key that pooled overflow observations are counted under once the bin
+  /// limit is reached (see set_bin_limit).
+  static constexpr std::uint64_t kOverflowKey = ~std::uint64_t{0};
+
+  /// Bounds the number of distinct keys tracked; once reached, observations
+  /// with new keys are pooled under kOverflowKey. Bounds memory on huge
+  /// observation spaces at a small loss of statistical power.
+  void set_bin_limit(std::size_t limit) { bin_limit_ = limit; }
+
+  /// Adds `count` observations of `key` to group 0 (fixed) or 1 (random).
+  void add(std::uint64_t key, int group, std::uint64_t count = 1);
+
+  /// Merges another table into this one (used to join per-thread tables).
+  void merge(const ContingencyTable& other);
+
+  /// Runs the G-test over the accumulated counts. Bins where both groups
+  /// have zero count are impossible by construction; bins with a low total
+  /// expected count (< `min_expected`) are pooled into one residual bin to
+  /// keep the chi-squared approximation honest, mirroring PROLEAD.
+  GTestResult g_test(double min_expected = 5.0) const;
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t group_total(int group) const;
+
+  const std::unordered_map<std::uint64_t, std::array<std::uint64_t, 2>>&
+  counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::array<std::uint64_t, 2>> counts_;
+  std::size_t bin_limit_ = ~std::size_t{0};
+};
+
+/// Convenience: G-test on an explicit pair of count vectors (same length,
+/// column i of both rows). Used by the exact verifier and unit tests.
+GTestResult g_test_two_rows(const std::vector<std::uint64_t>& row_fixed,
+                            const std::vector<std::uint64_t>& row_random,
+                            double min_expected = 5.0);
+
+}  // namespace sca::stats

@@ -1,0 +1,25 @@
+// Tail probabilities for the chi-squared distribution, computed in log space.
+//
+// Leakage detection compares a G statistic against a chi-squared null; the
+// interesting p-values are astronomically small (the paper's verdict
+// threshold is -log10(p) > 7, and real leaks land at 10^-40 and beyond), so
+// the survival function must be evaluated in log space rather than through
+// double-precision probabilities that would underflow to zero.
+#pragma once
+
+#include <cstddef>
+
+namespace sca::stats {
+
+/// Natural log of the upper regularized incomplete gamma Q(a, x)
+/// = Gamma(a, x) / Gamma(a). Requires a > 0, x >= 0.
+double log_gamma_q(double a, double x);
+
+/// Natural log of the chi-squared survival function P(X >= x) with `df`
+/// degrees of freedom. Returns 0.0 (= log 1) for x <= 0.
+double chi2_log_sf(double x, std::size_t df);
+
+/// -log10 of the chi-squared p-value; the scale PROLEAD reports.
+double chi2_minus_log10_p(double x, std::size_t df);
+
+}  // namespace sca::stats

@@ -1,0 +1,48 @@
+// Welch's t-test on streaming samples — the TVLA methodology of Schneider &
+// Moradi ("Leakage assessment methodology", the paper's reference [19]).
+//
+// Where the G-test compares full observation distributions, the t-test
+// compares group means of a scalar statistic (classically the Hamming weight
+// of an observation, standing in for instantaneous power). The standard
+// leakage threshold is |t| > 4.5. A second-order variant runs the same test
+// on centered squared samples.
+#pragma once
+
+#include <cstdint>
+
+namespace sca::stats {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class MomentAccumulator {
+ public:
+  void add(double sample);
+  void merge(const MomentAccumulator& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+struct TTestResult {
+  double t = 0.0;                 ///< Welch's t statistic
+  double degrees_of_freedom = 0;  ///< Welch-Satterthwaite approximation
+  std::uint64_t n_fixed = 0;
+  std::uint64_t n_random = 0;
+};
+
+/// Welch's two-sample t-test between the groups' accumulated moments.
+/// Degenerate inputs (an empty group, zero variance in both groups with
+/// equal means) give t = 0.
+TTestResult welch_t_test(const MomentAccumulator& fixed,
+                         const MomentAccumulator& random);
+
+/// The TVLA leakage threshold.
+inline constexpr double kTvlaThreshold = 4.5;
+
+}  // namespace sca::stats

@@ -1,0 +1,409 @@
+#include "src/verif/exact.hpp"
+
+#include <optional>
+#include <tuple>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/common/check.hpp"
+#include "src/netlist/cone.hpp"
+#include "src/verif/unroll.hpp"
+
+namespace sca::verif {
+
+using common::require;
+using netlist::GateKind;
+using netlist::InputRole;
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+// Lane patterns for the first six enumeration variables: variable j toggles
+// with period 2^(j+1) across the 64 lanes of one block.
+constexpr std::uint64_t kLanePattern[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+// One enumeration variable of the exact analysis.
+struct Var {
+  enum class Kind { kSecretBit, kFree } kind = Kind::kFree;
+  // For kSecretBit: which (secret group, bit); inputs depending on it are
+  // wired through share reconstruction below.
+  std::uint32_t secret = 0;
+  std::uint32_t bit = 0;
+};
+
+// How one unrolled input gets its value during enumeration: XOR of a set of
+// variables (e.g. the last share of a fully-observed sharing is
+// secret-bit ^ all other shares).
+struct InputExpr {
+  SignalId input = netlist::kNoSignal;
+  std::vector<std::size_t> var_indices;
+};
+
+struct Analysis {
+  std::vector<Var> vars;
+  std::vector<InputExpr> input_exprs;
+  std::vector<std::size_t> secret_var_indices;  // subset of vars
+  std::vector<SignalId> observation;            // unrolled signals, ordered
+  bool feasible = true;
+};
+
+// The engine holds everything derived from the netlist once, shared by all
+// probe analyses.
+class ExactEngine {
+ public:
+  ExactEngine(const Netlist& nl, const ExactOptions& options)
+      : nl_(nl), options_(options), supports_(nl) {
+    const std::size_t depth = sequential_depth(nl);
+    const std::size_t cycles =
+        options.cycles ? options.cycles : depth + 1;
+    require(cycles > depth,
+            "exact verifier: unroll depth must exceed sequential depth");
+    unrolled_ = unroll(nl, cycles);
+    unrolled_supports_.emplace(unrolled_.nl);
+    // Index unrolled inputs by signal for classification.
+    for (std::size_t i = 0; i < unrolled_.nl.inputs().size(); ++i)
+      input_index_[unrolled_.nl.inputs()[i].signal] = i;
+  }
+
+  const Netlist& netlist() const { return nl_; }
+  const ExactOptions& options() const { return options_; }
+
+  /// Observation set (unrolled, last cycle) of a glitch-extended probe on
+  /// original signal `probe`. Sorted ascending.
+  std::vector<SignalId> observation_of(SignalId probe) const {
+    const std::size_t last = unrolled_.cycles - 1;
+    std::vector<SignalId> obs;
+    for (std::size_t idx : supports_.support(probe).set_bits()) {
+      const SignalId stable = supports_.stable_points()[idx];
+      const SignalId mapped = unrolled_.map[last][stable];
+      SCA_ASSERT(mapped != netlist::kNoSignal,
+                 "exact verifier: observation reaches the cold start");
+      obs.push_back(mapped);
+    }
+    std::sort(obs.begin(), obs.end());
+    obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+    return obs;
+  }
+
+  /// Variable structure for an observation set.
+  Analysis analyze(const std::vector<SignalId>& observation) const {
+    Analysis a;
+    a.observation = observation;
+
+    // Union of unrolled-input supports.
+    common::DynamicBitset support(unrolled_supports_->stable_points().size());
+    for (SignalId sig : observation) support |= unrolled_supports_->support(sig);
+
+    // Bucket share inputs by (secret, bit, cycle); randoms become free vars.
+    struct Bucket {
+      std::vector<std::pair<std::uint32_t, SignalId>> shares;  // (share, sig)
+    };
+    std::map<std::tuple<std::uint32_t, std::uint32_t, std::size_t>, Bucket>
+        buckets;
+    std::vector<SignalId> free_inputs;
+    for (std::size_t idx : support.set_bits()) {
+      const SignalId sig = unrolled_supports_->stable_points()[idx];
+      const auto it = input_index_.find(sig);
+      SCA_ASSERT(it != input_index_.end(),
+                 "exact verifier: unrolled stable point is not an input");
+      const netlist::InputInfo& info = unrolled_.nl.inputs()[it->second];
+      switch (info.role) {
+        case InputRole::kRandom:
+          free_inputs.push_back(sig);
+          break;
+        case InputRole::kControl:
+          // Public control inputs are fixed to 0 in this analysis.
+          break;
+        case InputRole::kShare:
+          buckets[{info.share.secret, info.share.bit,
+                   unrolled_.input_cycle[it->second]}]
+              .shares.emplace_back(info.share.share, sig);
+          break;
+      }
+    }
+
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> secret_vars;
+    for (auto& [key, bucket] : buckets) {
+      const auto [secret, bit, cycle] = key;
+      const std::uint32_t total_shares = nl_.share_count(secret);
+      std::sort(bucket.shares.begin(), bucket.shares.end());
+      if (bucket.shares.size() < total_shares) {
+        // A proper subset of the shares is jointly uniform and independent
+        // of the secret: all free.
+        for (const auto& [share, sig] : bucket.shares) free_inputs.push_back(sig);
+        continue;
+      }
+      // All shares observed: shares 0..S-2 free, last = secret ^ rest.
+      const auto secret_key = std::make_pair(secret, bit);
+      if (!secret_vars.contains(secret_key)) {
+        secret_vars[secret_key] = a.vars.size();
+        a.secret_var_indices.push_back(a.vars.size());
+        a.vars.push_back(Var{Var::Kind::kSecretBit, secret, bit});
+      }
+      const std::size_t secret_var = secret_vars[secret_key];
+      std::vector<std::size_t> share_vars;
+      for (std::size_t i = 0; i + 1 < bucket.shares.size(); ++i) {
+        const std::size_t v = a.vars.size();
+        a.vars.push_back(Var{Var::Kind::kFree, 0, 0});
+        share_vars.push_back(v);
+        a.input_exprs.push_back(InputExpr{bucket.shares[i].second, {v}});
+      }
+      std::vector<std::size_t> last_expr = share_vars;
+      last_expr.push_back(secret_var);
+      a.input_exprs.push_back(
+          InputExpr{bucket.shares.back().second, std::move(last_expr)});
+    }
+    for (SignalId sig : free_inputs) {
+      const std::size_t v = a.vars.size();
+      a.vars.push_back(Var{Var::Kind::kFree, 0, 0});
+      a.input_exprs.push_back(InputExpr{sig, {v}});
+    }
+
+    a.feasible = a.vars.size() <= options_.max_vars &&
+                 observation.size() <= options_.max_observation_bits &&
+                 a.secret_var_indices.size() + observation.size() <= 30;
+    return a;
+  }
+
+  /// Exact joint histogram counts[secret_value][observation_value] for an
+  /// analysis. secret_value packs the secret-bit variables in
+  /// secret_var_indices order.
+  std::vector<std::vector<std::uint32_t>> enumerate(const Analysis& a) const {
+    const std::size_t nv = a.vars.size();
+    const std::size_t n_secret = a.secret_var_indices.size();
+    const std::size_t n_obs = a.observation.size();
+    std::vector<std::vector<std::uint32_t>> counts(
+        std::size_t{1} << n_secret,
+        std::vector<std::uint32_t>(std::size_t{1} << n_obs, 0));
+
+    // Evaluation cone over the unrolled netlist.
+    std::vector<SignalId> cone;
+    {
+      std::vector<bool> seen(unrolled_.nl.size(), false);
+      std::vector<SignalId> stack(a.observation.begin(), a.observation.end());
+      while (!stack.empty()) {
+        const SignalId id = stack.back();
+        stack.pop_back();
+        if (seen[id]) continue;
+        seen[id] = true;
+        cone.push_back(id);
+        const netlist::Gate& g = unrolled_.nl.gate(id);
+        const std::size_t arity = netlist::gate_arity(g.kind);
+        for (std::size_t i = 0; i < arity; ++i) stack.push_back(g.fanin[i]);
+      }
+      std::sort(cone.begin(), cone.end());  // SSA ids: ascending = topological
+    }
+
+    std::vector<std::uint64_t> values(unrolled_.nl.size(), 0);
+    const std::size_t blocks =
+        nv > 6 ? (std::size_t{1} << (nv - 6)) : 1;
+    const std::size_t lanes_used = nv >= 6 ? 64 : (std::size_t{1} << nv);
+
+    std::vector<std::uint64_t> var_words(nv);
+    for (std::size_t block = 0; block < blocks; ++block) {
+      for (std::size_t j = 0; j < nv; ++j)
+        var_words[j] = j < 6 ? kLanePattern[j]
+                             : (((block >> (j - 6)) & 1u) ? ~std::uint64_t{0}
+                                                          : 0);
+      // Drive inputs.
+      for (const InputExpr& expr : a.input_exprs) {
+        std::uint64_t w = 0;
+        for (std::size_t v : expr.var_indices) w ^= var_words[v];
+        values[expr.input] = w;
+      }
+      // Evaluate the cone.
+      for (SignalId id : cone) {
+        const netlist::Gate& g = unrolled_.nl.gate(id);
+        switch (g.kind) {
+          case GateKind::kInput:
+            break;
+          case GateKind::kConst0:
+            values[id] = 0;
+            break;
+          case GateKind::kConst1:
+            values[id] = ~std::uint64_t{0};
+            break;
+          case GateKind::kBuf:
+            values[id] = values[g.fanin[0]];
+            break;
+          case GateKind::kNot:
+            values[id] = ~values[g.fanin[0]];
+            break;
+          case GateKind::kAnd:
+            values[id] = values[g.fanin[0]] & values[g.fanin[1]];
+            break;
+          case GateKind::kNand:
+            values[id] = ~(values[g.fanin[0]] & values[g.fanin[1]]);
+            break;
+          case GateKind::kOr:
+            values[id] = values[g.fanin[0]] | values[g.fanin[1]];
+            break;
+          case GateKind::kNor:
+            values[id] = ~(values[g.fanin[0]] | values[g.fanin[1]]);
+            break;
+          case GateKind::kXor:
+            values[id] = values[g.fanin[0]] ^ values[g.fanin[1]];
+            break;
+          case GateKind::kXnor:
+            values[id] = ~(values[g.fanin[0]] ^ values[g.fanin[1]]);
+            break;
+          case GateKind::kMux:
+            values[id] = (~values[g.fanin[0]] & values[g.fanin[1]]) |
+                         (values[g.fanin[0]] & values[g.fanin[2]]);
+            break;
+          case GateKind::kReg:
+            SCA_ASSERT(false, "exact verifier: register in unrolled netlist");
+        }
+      }
+      // Accumulate.
+      for (std::size_t lane = 0; lane < lanes_used; ++lane) {
+        std::uint64_t secret_value = 0;
+        for (std::size_t k = 0; k < n_secret; ++k)
+          secret_value |=
+              ((var_words[a.secret_var_indices[k]] >> lane) & 1u) << k;
+        std::uint64_t obs_value = 0;
+        for (std::size_t k = 0; k < n_obs; ++k)
+          obs_value |= ((values[a.observation[k]] >> lane) & 1u) << k;
+        counts[secret_value][obs_value] += 1;
+      }
+    }
+    return counts;
+  }
+
+ private:
+  const Netlist& nl_;
+  ExactOptions options_;
+  netlist::StableSupport supports_;
+  Unrolled unrolled_;
+  std::optional<netlist::StableSupport> unrolled_supports_;
+  std::unordered_map<SignalId, std::size_t> input_index_;
+};
+
+// Total-variation distance between two equal-total histograms.
+double tv_distance(const std::vector<std::uint32_t>& p,
+                   const std::vector<std::uint32_t>& q) {
+  std::uint64_t total_p = 0, total_q = 0, abs_diff_doubled = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    total_p += p[i];
+    total_q += q[i];
+    abs_diff_doubled +=
+        p[i] > q[i] ? (p[i] - q[i]) : (q[i] - p[i]);
+  }
+  SCA_ASSERT(total_p == total_q, "tv_distance: histogram totals differ");
+  if (total_p == 0) return 0.0;
+  return 0.5 * static_cast<double>(abs_diff_doubled) /
+         static_cast<double>(total_p);
+}
+
+}  // namespace
+
+std::vector<const ExactProbeResult*> ExactReport::leaking() const {
+  std::vector<const ExactProbeResult*> out;
+  for (const auto& p : probes)
+    if (p.leaks) out.push_back(&p);
+  std::sort(out.begin(), out.end(),
+            [](const ExactProbeResult* a, const ExactProbeResult* b) {
+              return a->max_tv_distance > b->max_tv_distance;
+            });
+  return out;
+}
+
+ExactReport verify_first_order_glitch(const Netlist& nl,
+                                      const ExactOptions& options) {
+  nl.validate();
+  ExactEngine engine(nl, options);
+
+  // Dedupe probes by observation set; remember the best display name.
+  std::map<std::vector<SignalId>, SignalId> unique_observations;
+  for (SignalId probe = 0; probe < nl.size(); ++probe) {
+    const GateKind k = nl.kind(probe);
+    if (k == GateKind::kConst0 || k == GateKind::kConst1) continue;
+    auto obs = engine.observation_of(probe);
+    if (obs.empty()) continue;
+    auto [it, inserted] = unique_observations.try_emplace(std::move(obs), probe);
+    // Prefer an explicitly named representative for readable reports.
+    if (!inserted && !nl.explicit_name(it->second) && nl.explicit_name(probe))
+      it->second = probe;
+  }
+
+  ExactReport report;
+  report.probes_total = unique_observations.size();
+  for (const auto& [observation, representative] : unique_observations) {
+    ExactProbeResult result;
+    result.probe = representative;
+    result.name = nl.signal_name(representative);
+    result.observation_bits = observation.size();
+
+    const Analysis analysis = engine.analyze(observation);
+    result.secret_bits = analysis.secret_var_indices.size();
+    result.free_bits = analysis.vars.size() - result.secret_bits;
+    if (!analysis.feasible) {
+      result.skipped = true;
+      report.any_skipped = true;
+      report.probes.push_back(std::move(result));
+      continue;
+    }
+    if (analysis.secret_var_indices.empty()) {
+      // Observation cannot reach any complete sharing: trivially secure.
+      report.probes.push_back(std::move(result));
+      continue;
+    }
+
+    const auto counts = engine.enumerate(analysis);
+    for (std::size_t v = 1; v < counts.size(); ++v) {
+      const double tv = tv_distance(counts[0], counts[v]);
+      if (tv > result.max_tv_distance) {
+        result.max_tv_distance = tv;
+        result.witness_a = 0;
+        result.witness_b = v;
+      }
+    }
+    result.leaks = result.max_tv_distance > 0.0;
+    if (result.leaks) {
+      report.any_leak = true;
+      ++report.probes_leaking;
+    }
+    report.probes.push_back(std::move(result));
+  }
+  return report;
+}
+
+std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
+exact_probe_distribution(const Netlist& nl, SignalId probe,
+                         const ExactOptions& options) {
+  nl.validate();
+  ExactEngine engine(nl, options);
+  const auto observation = engine.observation_of(probe);
+  const Analysis analysis = engine.analyze(observation);
+  require(analysis.feasible,
+          "exact_probe_distribution: probe exceeds enumeration limits");
+  const auto counts = engine.enumerate(analysis);
+  std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>> out;
+  for (std::size_t v = 0; v < counts.size(); ++v)
+    for (std::size_t o = 0; o < counts[v].size(); ++o)
+      if (counts[v][o]) out[v][o] = counts[v][o];
+  return out;
+}
+
+std::string to_string(const ExactReport& report) {
+  std::ostringstream os;
+  os << "exact first-order glitch-extended verification: "
+     << (report.any_leak ? "LEAKS" : "secure") << "\n";
+  os << "unique probes: " << report.probes_total
+     << ", leaking: " << report.probes_leaking
+     << (report.any_skipped ? " (some probes skipped!)" : "") << "\n";
+  for (const ExactProbeResult* p : report.leaking()) {
+    os << "  LEAK at " << p->name << "  obs_bits=" << p->observation_bits
+       << " tv=" << p->max_tv_distance << " witness secrets "
+       << p->witness_a << " vs " << p->witness_b << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sca::verif

@@ -1,0 +1,45 @@
+// Sequential-to-combinational unrolling.
+//
+// The exact probing verifier needs every register's content expressed as a
+// Boolean function of primary inputs. Unrolling W cycles creates W copies of
+// each primary input (cycle 0 = oldest); a register instance at cycle c
+// aliases its D function at cycle c-1. If W exceeds the circuit's sequential
+// depth, every signal at the last cycle is a function of real inputs only
+// (no cold-start register zeros reach it).
+//
+// Only pipelines (acyclic register dependency graphs) can be unrolled this
+// way; circuits with register feedback (e.g. the AES controller) are
+// rejected — they are evaluated with the sampling engine instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/netlist/ir.hpp"
+
+namespace sca::verif {
+
+struct Unrolled {
+  /// Purely combinational netlist (inputs and gates, no registers).
+  netlist::Netlist nl;
+  /// map[c][orig] = unrolled signal holding original signal `orig`'s value
+  /// during cycle c (kNoSignal where the value would depend on the cold
+  /// start, i.e. for early cycles of deep registers).
+  std::vector<std::vector<netlist::SignalId>> map;
+  /// For each unrolled primary input: which cycle's copy it is and which
+  /// original input it instantiates.
+  std::vector<std::size_t> input_cycle;
+  std::vector<netlist::SignalId> input_original;
+  std::size_t cycles = 0;
+};
+
+/// Longest register-to-register chain + 1; 0 for purely combinational
+/// circuits. Throws sca::common::Error if the register graph has a cycle.
+std::size_t sequential_depth(const netlist::Netlist& nl);
+
+/// Unrolls `nl` over `cycles` cycles. Signals whose value at a given cycle
+/// would still depend on the cold start are mapped to kNoSignal; at the last
+/// cycle, all signals are fully defined iff cycles > sequential_depth(nl).
+Unrolled unroll(const netlist::Netlist& nl, std::size_t cycles);
+
+}  // namespace sca::verif

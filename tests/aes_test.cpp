@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "src/aes/aes128.hpp"
+#include "src/aes/sbox.hpp"
+#include "src/gf/gf256.hpp"
+
+namespace sca::aes {
+namespace {
+
+TEST(Sbox, KnownEntries) {
+  // FIPS-197 table 4 spot checks.
+  EXPECT_EQ(sbox(0x00), 0x63);
+  EXPECT_EQ(sbox(0x01), 0x7C);
+  EXPECT_EQ(sbox(0x53), 0xED);
+  EXPECT_EQ(sbox(0xFF), 0x16);
+  EXPECT_EQ(sbox(0x10), 0xCA);
+}
+
+TEST(Sbox, IsAPermutation) {
+  std::array<bool, 256> seen{};
+  for (unsigned x = 0; x < 256; ++x) seen[sbox(static_cast<std::uint8_t>(x))] = true;
+  for (unsigned x = 0; x < 256; ++x) EXPECT_TRUE(seen[x]) << x;
+}
+
+TEST(Sbox, InverseSboxInverts) {
+  for (unsigned x = 0; x < 256; ++x)
+    EXPECT_EQ(inv_sbox(sbox(static_cast<std::uint8_t>(x))), x);
+}
+
+TEST(Sbox, HasNoFixedPoints) {
+  for (unsigned x = 0; x < 256; ++x) {
+    EXPECT_NE(sbox(static_cast<std::uint8_t>(x)), x);
+    EXPECT_NE(sbox(static_cast<std::uint8_t>(x)), x ^ 0xFF);
+  }
+}
+
+TEST(Sbox, DecomposesAsAffineAfterInversion) {
+  for (unsigned x = 0; x < 256; ++x)
+    EXPECT_EQ(sbox(static_cast<std::uint8_t>(x)),
+              sbox_affine(gf::gf256_inv(static_cast<std::uint8_t>(x))));
+}
+
+TEST(Sbox, AffineMatrixIsInvertible) {
+  EXPECT_TRUE(sbox_affine_matrix().invertible());
+}
+
+TEST(Sbox, AffineConstant) { EXPECT_EQ(sbox_affine(0x00), 0x63); }
+
+TEST(KeySchedule, Fips197AppendixA) {
+  // FIPS-197 appendix A.1 key expansion.
+  const Key128 key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const KeySchedule ks = expand_key(key);
+  // w4..w7 (round key 1).
+  const Block rk1 = {0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1,
+                     0x23, 0xa3, 0x39, 0x39, 0x2a, 0x6c, 0x76, 0x05};
+  EXPECT_EQ(ks[1], rk1);
+  // Final round key (w40..w43).
+  const Block rk10 = {0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89,
+                      0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63, 0x0c, 0xa6};
+  EXPECT_EQ(ks[10], rk10);
+}
+
+TEST(Aes128, Fips197AppendixB) {
+  const Block pt = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                    0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const Key128 key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const Block expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                          0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  EXPECT_EQ(encrypt(pt, key), expected);
+}
+
+TEST(Aes128, Fips197AppendixCVector) {
+  const Block pt = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                    0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const Key128 key = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                      0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const Block expected = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                          0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  EXPECT_EQ(encrypt(pt, key), expected);
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  Block pt{};
+  Key128 key{};
+  for (int trial = 0; trial < 32; ++trial) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      pt[i] = static_cast<std::uint8_t>(trial * 16 + i);
+      key[i] = static_cast<std::uint8_t>(255 - trial - i);
+    }
+    EXPECT_EQ(decrypt(encrypt(pt, key), key), pt);
+  }
+}
+
+TEST(Aes128, RoundFunctionsInvert) {
+  Block s;
+  for (std::size_t i = 0; i < 16; ++i) s[i] = static_cast<std::uint8_t>(17 * i + 3);
+  EXPECT_EQ(inv_shift_rows(shift_rows(s)), s);
+  EXPECT_EQ(inv_mix_columns(mix_columns(s)), s);
+}
+
+TEST(Aes128, ShiftRowsMovesRow1) {
+  Block s{};
+  // Put marker at row 1, column 0 (index 1); after ShiftRows row 1 rotates
+  // left by 1, so the marker moves to column 3 (index 13).
+  s[1] = 0xAB;
+  const Block out = shift_rows(s);
+  EXPECT_EQ(out[13], 0xAB);
+  EXPECT_EQ(out[1], 0x00);
+}
+
+TEST(Aes128, MixColumnsFips197Example) {
+  // FIPS-197 section 5.1.3 example column.
+  Block s{};
+  s[0] = 0xd4; s[1] = 0xbf; s[2] = 0x5d; s[3] = 0x30;
+  const Block out = mix_columns(s);
+  EXPECT_EQ(out[0], 0x04);
+  EXPECT_EQ(out[1], 0x66);
+  EXPECT_EQ(out[2], 0x81);
+  EXPECT_EQ(out[3], 0xe5);
+}
+
+TEST(Aes128, AddRoundKeyIsInvolution) {
+  Block s, rk;
+  for (std::size_t i = 0; i < 16; ++i) {
+    s[i] = static_cast<std::uint8_t>(3 * i);
+    rk[i] = static_cast<std::uint8_t>(100 + i);
+  }
+  EXPECT_EQ(add_round_key(add_round_key(s, rk), rk), s);
+}
+
+}  // namespace
+}  // namespace sca::aes

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/bitops.hpp"
+#include "src/common/check.hpp"
+#include "src/common/dynamic_bitset.hpp"
+#include "src/common/rng.hpp"
+
+namespace sca::common {
+namespace {
+
+TEST(Bitops, Parity) {
+  EXPECT_EQ(parity64(0), 0u);
+  EXPECT_EQ(parity64(1), 1u);
+  EXPECT_EQ(parity64(0b1011), 1u);
+  EXPECT_EQ(parity64(~std::uint64_t{0}), 0u);
+}
+
+TEST(Bitops, BitAndWithBit) {
+  EXPECT_EQ(bit(0b100, 2), 1u);
+  EXPECT_EQ(bit(0b100, 1), 0u);
+  EXPECT_EQ(with_bit(0b100, 0, 1), 0b101u);
+  EXPECT_EQ(with_bit(0b101, 2, 0), 0b001u);
+}
+
+TEST(Bitops, BroadcastBit) {
+  EXPECT_EQ(broadcast_bit(0), 0u);
+  EXPECT_EQ(broadcast_bit(1), ~std::uint64_t{0});
+}
+
+TEST(Bitops, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 64), 0u);
+  EXPECT_EQ(ceil_div(1, 64), 1u);
+  EXPECT_EQ(ceil_div(64, 64), 1u);
+  EXPECT_EQ(ceil_div(65, 64), 2u);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  Xoshiro256 rng(7);
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(Rng, NonzeroByteNeverZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 4096; ++i) EXPECT_NE(rng.nonzero_byte(), 0);
+}
+
+TEST(Rng, ByteRoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::map<int, int> hist;
+  const int kDraws = 256 * 200;
+  for (int i = 0; i < kDraws; ++i) hist[rng.byte()]++;
+  // Every byte value should appear; expected count 200 per bin.
+  EXPECT_EQ(hist.size(), 256u);
+  for (const auto& [v, c] : hist) EXPECT_GT(c, 100) << "value " << v;
+}
+
+TEST(Rng, BitIsBalanced) {
+  Xoshiro256 rng(5);
+  int ones = 0;
+  const int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) ones += static_cast<int>(rng.bit());
+  EXPECT_GT(ones, kDraws / 2 - 300);
+  EXPECT_LT(ones, kDraws / 2 + 300);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Xoshiro256 parent(9);
+  Xoshiro256 child1 = parent.split();
+  Xoshiro256 child2 = parent.split();
+  EXPECT_NE(child1.next(), child2.next());
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(DynamicBitset, UnionIntersection) {
+  DynamicBitset a(100), b(100);
+  a.set(3);
+  a.set(70);
+  b.set(70);
+  b.set(99);
+  const DynamicBitset u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  const DynamicBitset i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(70));
+}
+
+TEST(DynamicBitset, SubsetAndIntersects) {
+  DynamicBitset a(80), b(80);
+  a.set(5);
+  b.set(5);
+  b.set(6);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynamicBitset c(80);
+  c.set(7);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(DynamicBitset, SetBitsAscending) {
+  DynamicBitset a(200);
+  a.set(199);
+  a.set(0);
+  a.set(63);
+  a.set(64);
+  const auto bits = a.set_bits();
+  ASSERT_EQ(bits.size(), 4u);
+  EXPECT_EQ(bits[0], 0u);
+  EXPECT_EQ(bits[1], 63u);
+  EXPECT_EQ(bits[2], 64u);
+  EXPECT_EQ(bits[3], 199u);
+}
+
+TEST(DynamicBitset, EqualityAndHash) {
+  DynamicBitset a(70), b(70);
+  a.set(33);
+  b.set(33);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(34);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DynamicBitset, DistinctSetsUsuallyHashDifferently) {
+  std::set<std::size_t> hashes;
+  for (std::size_t i = 0; i < 64; ++i) {
+    DynamicBitset b(64);
+    b.set(i);
+    hashes.insert(b.hash());
+  }
+  EXPECT_GT(hashes.size(), 60u);
+}
+
+TEST(Check, RequireThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "broken contract");
+    FAIL() << "require should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("broken contract"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sca::common

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "src/aes/aes128.hpp"
+#include "src/common/rng.hpp"
+#include "src/gadgets/masked_aes.hpp"
+#include "src/gadgets/sharing.hpp"
+#include "src/netlist/celllib.hpp"
+#include "src/netlist/ir.hpp"
+#include "src/sim/simulator.hpp"
+#include "tests/test_util.hpp"
+
+namespace sca::gadgets {
+namespace {
+
+using netlist::Netlist;
+
+// Runs one masked encryption on lane 0 and returns the recombined ciphertext.
+aes::Block run_masked_encrypt(const Netlist& nl, const MaskedAes& core,
+                              const aes::Block& pt, const aes::Key128& key,
+                              common::Xoshiro256& rng) {
+  sim::Simulator simulator(nl);
+  for (std::size_t byte = 0; byte < 16; ++byte) {
+    const auto pt_sh = boolean_share(pt[byte], 2, rng);
+    const auto key_sh = boolean_share(key[byte], 2, rng);
+    for (std::size_t share = 0; share < 2; ++share) {
+      set_bus_all_lanes(simulator, core.pt[share][byte], pt_sh[share]);
+      set_bus_all_lanes(simulator, core.key[share][byte], key_sh[share]);
+    }
+  }
+  for (std::size_t cycle = 0; cycle < core.total_cycles; ++cycle) {
+    testutil::feed_randomness(simulator, nl, core.nonzero_random_buses, rng);
+    simulator.step();
+  }
+  simulator.settle();
+  EXPECT_TRUE(simulator.value_in_lane(core.done, 0));
+  aes::Block ct{};
+  for (std::size_t byte = 0; byte < 16; ++byte)
+    ct[byte] = static_cast<std::uint8_t>(
+        read_bus_lane(simulator, core.ct[0][byte], 0) ^
+        read_bus_lane(simulator, core.ct[1][byte], 0));
+  return ct;
+}
+
+class MaskedAesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    nl_ = new Netlist();
+    core_ = new MaskedAes(build_masked_aes128(*nl_, MaskedAesOptions{}));
+    nl_->validate();
+  }
+  static void TearDownTestSuite() {
+    delete core_;
+    delete nl_;
+    core_ = nullptr;
+    nl_ = nullptr;
+  }
+  static Netlist* nl_;
+  static MaskedAes* core_;
+};
+
+Netlist* MaskedAesTest::nl_ = nullptr;
+MaskedAes* MaskedAesTest::core_ = nullptr;
+
+TEST_F(MaskedAesTest, Fips197AppendixB) {
+  const aes::Block pt = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                         0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const aes::Key128 key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const aes::Block expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                               0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  common::Xoshiro256 rng(1);
+  EXPECT_EQ(run_masked_encrypt(*nl_, *core_, pt, key, rng), expected);
+}
+
+TEST_F(MaskedAesTest, Fips197AppendixC) {
+  const aes::Block pt = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                         0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const aes::Key128 key = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                           0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  common::Xoshiro256 rng(2);
+  EXPECT_EQ(run_masked_encrypt(*nl_, *core_, pt, key, rng),
+            aes::encrypt(pt, key));
+}
+
+TEST_F(MaskedAesTest, RandomVectorsAgainstReference) {
+  common::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    aes::Block pt;
+    aes::Key128 key;
+    for (auto& b : pt) b = rng.byte();
+    for (auto& b : key) b = rng.byte();
+    EXPECT_EQ(run_masked_encrypt(*nl_, *core_, pt, key, rng),
+              aes::encrypt(pt, key));
+  }
+}
+
+TEST_F(MaskedAesTest, FreshMasksChangeSharesNotResult) {
+  // Same pt/key, different RNG seeds: ciphertext identical, ciphertext
+  // *shares* different (the masking actually randomizes).
+  const aes::Block pt{};
+  const aes::Key128 key{};
+  common::Xoshiro256 rng_a(10), rng_b(11);
+
+  sim::Simulator sim_a(*nl_);
+  // Instead of a full helper re-run, compare through the public helper and
+  // then check shares with two explicit runs.
+  auto run_and_grab_share0 = [&](common::Xoshiro256& rng) {
+    sim::Simulator simulator(*nl_);
+    for (std::size_t byte = 0; byte < 16; ++byte) {
+      const auto pt_sh = boolean_share(pt[byte], 2, rng);
+      const auto key_sh = boolean_share(key[byte], 2, rng);
+      for (std::size_t share = 0; share < 2; ++share) {
+        set_bus_all_lanes(simulator, core_->pt[share][byte], pt_sh[share]);
+        set_bus_all_lanes(simulator, core_->key[share][byte], key_sh[share]);
+      }
+    }
+    for (std::size_t cycle = 0; cycle < core_->total_cycles; ++cycle) {
+      testutil::feed_randomness(simulator, *nl_, core_->nonzero_random_buses,
+                                rng);
+      simulator.step();
+    }
+    simulator.settle();
+    aes::Block share0{}, full{};
+    for (std::size_t byte = 0; byte < 16; ++byte) {
+      share0[byte] = static_cast<std::uint8_t>(
+          read_bus_lane(simulator, core_->ct[0][byte], 0));
+      full[byte] = static_cast<std::uint8_t>(
+          share0[byte] ^ read_bus_lane(simulator, core_->ct[1][byte], 0));
+    }
+    return std::pair{share0, full};
+  };
+
+  const auto [share_a, ct_a] = run_and_grab_share0(rng_a);
+  const auto [share_b, ct_b] = run_and_grab_share0(rng_b);
+  EXPECT_EQ(ct_a, ct_b);
+  EXPECT_EQ(ct_a, aes::encrypt(pt, key));
+  EXPECT_NE(share_a, share_b);
+}
+
+TEST_F(MaskedAesTest, StructureSanity) {
+  // 20 Sbox instances, each with a non-zero-constrained B2M mask bus.
+  EXPECT_EQ(core_->nonzero_random_buses.size(), 20u);
+  // Plaintext/key/ct banks have 2 shares x 16 bytes.
+  EXPECT_EQ(core_->pt.size(), 2u);
+  EXPECT_EQ(core_->pt[0].size(), 16u);
+  EXPECT_EQ(core_->ct[1].size(), 16u);
+  // The core is big but bounded: sanity-band the gate count.
+  EXPECT_GT(nl_->size(), 10000u);
+  EXPECT_LT(nl_->size(), 100000u);
+  // Secret groups: 16 pt + 16 key bytes.
+  EXPECT_EQ(nl_->secret_group_count(), 32u);
+}
+
+TEST_F(MaskedAesTest, AreaReportIsPlausible) {
+  const auto report =
+      netlist::map_and_report(*nl_, netlist::CellLibrary::nangate45());
+  // First-order masked AES cores are tens of kGE.
+  EXPECT_GT(report.gate_equivalents, 10000.0);
+  EXPECT_GT(report.sequential_cells, 1000u);
+}
+
+}  // namespace
+}  // namespace sca::gadgets

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/stats/gtest_stat.hpp"
+#include "src/stats/pvalue.hpp"
+#include "src/stats/ttest.hpp"
+
+namespace sca::stats {
+namespace {
+
+// --- chi-squared survival function -------------------------------------------
+
+TEST(PValue, Chi2KnownQuantiles) {
+  // P(X >= 3.841) with 1 df is 0.05; P(X >= 6.635) is 0.01.
+  EXPECT_NEAR(std::exp(chi2_log_sf(3.841, 1)), 0.05, 2e-4);
+  EXPECT_NEAR(std::exp(chi2_log_sf(6.635, 1)), 0.01, 2e-4);
+  // 5 df: P(X >= 11.070) = 0.05.
+  EXPECT_NEAR(std::exp(chi2_log_sf(11.070, 5)), 0.05, 2e-4);
+}
+
+TEST(PValue, Chi2DfTwoIsExactExponential) {
+  // With 2 df the survival function is exactly exp(-x/2).
+  for (double x : {0.5, 1.0, 5.0, 40.0, 200.0})
+    EXPECT_NEAR(chi2_log_sf(x, 2), -x / 2.0, 1e-9) << "x=" << x;
+}
+
+TEST(PValue, ExtremeTailStaysFinite) {
+  // G = 1000 with 1 df: -log10(p) should be large but finite (around 218).
+  const double mlp = chi2_minus_log10_p(1000.0, 1);
+  EXPECT_GT(mlp, 200.0);
+  EXPECT_LT(mlp, 250.0);
+  EXPECT_TRUE(std::isfinite(mlp));
+}
+
+TEST(PValue, ZeroStatisticGivesPOne) {
+  EXPECT_DOUBLE_EQ(chi2_log_sf(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(chi2_minus_log10_p(0.0, 3), 0.0);
+}
+
+TEST(PValue, MonotoneInStatistic) {
+  double prev = chi2_minus_log10_p(0.1, 4);
+  for (double x = 1.0; x < 500.0; x += 7.3) {
+    const double cur = chi2_minus_log10_p(x, 4);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PValue, MatchesGammaIdentity) {
+  // Q(1, x) = exp(-x) exactly.
+  for (double x : {0.1, 1.0, 3.0, 30.0})
+    EXPECT_NEAR(log_gamma_q(1.0, x), -x, 1e-10);
+}
+
+// --- G-test -------------------------------------------------------------------
+
+TEST(GTestStat, IdenticalDistributionsGiveNoEvidence) {
+  std::vector<std::uint64_t> row = {1000, 2000, 3000, 500};
+  const GTestResult r = g_test_two_rows(row, row);
+  EXPECT_LT(r.minus_log10_p, 1.0);
+  EXPECT_NEAR(r.g, 0.0, 1e-9);
+}
+
+TEST(GTestStat, GrosslyDifferentDistributionsAreFlagged) {
+  std::vector<std::uint64_t> fixed = {9000, 1000};
+  std::vector<std::uint64_t> random = {1000, 9000};
+  const GTestResult r = g_test_two_rows(fixed, random);
+  EXPECT_GT(r.minus_log10_p, 100.0);
+}
+
+TEST(GTestStat, NullSamplesRarelyCrossThreshold) {
+  // Draw both rows from the same multinomial; with the 10^-7 threshold the
+  // false-positive rate over 200 repetitions should be zero.
+  common::Xoshiro256 rng(99);
+  int false_positives = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    ContingencyTable table;
+    for (int i = 0; i < 4000; ++i) {
+      table.add(rng.next() % 8, 0);
+      table.add(rng.next() % 8, 1);
+    }
+    if (table.g_test().minus_log10_p > 7.0) ++false_positives;
+  }
+  EXPECT_EQ(false_positives, 0);
+}
+
+TEST(GTestStat, DetectsSmallBias) {
+  // Fixed group has a 5% excess mass on one bin; with 100k samples the
+  // G-test must see it well past the threshold.
+  common::Xoshiro256 rng(123);
+  ContingencyTable table;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t f = (rng.next() % 100 < 30) ? 0 : 1 + rng.next() % 3;
+    const std::uint64_t r = (rng.next() % 100 < 25) ? 0 : 1 + rng.next() % 3;
+    table.add(f, 0);
+    table.add(r, 1);
+  }
+  EXPECT_GT(table.g_test().minus_log10_p, 7.0);
+}
+
+TEST(GTestStat, EmptyGroupGivesZero) {
+  ContingencyTable table;
+  table.add(1, 0, 100);
+  table.add(2, 0, 50);
+  const GTestResult r = table.g_test();
+  EXPECT_EQ(r.minus_log10_p, 0.0);
+  EXPECT_EQ(r.n_random, 0u);
+}
+
+TEST(GTestStat, SingleBinGivesZero) {
+  ContingencyTable table;
+  table.add(7, 0, 100);
+  table.add(7, 1, 120);
+  EXPECT_EQ(table.g_test().minus_log10_p, 0.0);
+}
+
+TEST(GTestStat, MergeAccumulates) {
+  ContingencyTable a, b;
+  a.add(1, 0, 10);
+  a.add(2, 1, 5);
+  b.add(1, 0, 7);
+  b.add(3, 1, 2);
+  a.merge(b);
+  EXPECT_EQ(a.group_total(0), 17u);
+  EXPECT_EQ(a.group_total(1), 7u);
+  EXPECT_EQ(a.bin_count(), 3u);
+}
+
+TEST(GTestStat, LowExpectationBinsArePooled) {
+  // 10 bins with tiny counts should pool into a single residual, leaving
+  // df = 1 (two effective columns) rather than 10.
+  ContingencyTable table;
+  table.add(0, 0, 10000);
+  table.add(0, 1, 10000);
+  for (std::uint64_t k = 1; k <= 10; ++k) {
+    table.add(k, 0, 1);
+    table.add(k, 1, 1);
+  }
+  const GTestResult r = table.g_test();
+  EXPECT_EQ(r.bins, 2u);
+  EXPECT_EQ(r.df, 1u);
+}
+
+TEST(GTestStat, DfCountsColumnsMinusOne) {
+  ContingencyTable table;
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    table.add(k, 0, 1000);
+    table.add(k, 1, 1000 + 10 * k);
+  }
+  const GTestResult r = table.g_test();
+  EXPECT_EQ(r.bins, 5u);
+  EXPECT_EQ(r.df, 4u);
+}
+
+TEST(GTestStat, GStatisticMatchesHandComputation) {
+  // 2x2 table: [[30, 10], [20, 40]].
+  std::vector<std::uint64_t> fixed = {30, 10};
+  std::vector<std::uint64_t> random = {20, 40};
+  const GTestResult r = g_test_two_rows(fixed, random, /*min_expected=*/0.0);
+  // E: col0 total 50, n0=40, n1=60, n=100 -> e00=20, e10=30, e01=20, e11=30.
+  const double raw_g =
+      2.0 * (30 * std::log(30 / 20.0) + 10 * std::log(10 / 20.0) +
+             20 * std::log(20 / 30.0) + 40 * std::log(40 / 30.0));
+  // Williams correction for the 2x2 table.
+  const double row_term = 100.0 * (1.0 / 40.0 + 1.0 / 60.0) - 1.0;
+  const double col_term = 100.0 * (1.0 / 50.0 + 1.0 / 50.0) - 1.0;
+  const double q = 1.0 + row_term * col_term / (6.0 * 100.0 * 1.0);
+  EXPECT_NEAR(r.g, raw_g / q, 1e-9);
+  EXPECT_EQ(r.df, 1u);
+}
+
+
+// --- Welch t-test --------------------------------------------------------------
+
+TEST(TTest, AccumulatorMatchesClosedForm) {
+  MomentAccumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  // Sample variance of {1,2,3,4} is 5/3.
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(TTest, MergeEqualsSequential) {
+  common::Xoshiro256 rng(21);
+  MomentAccumulator all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>(rng.byte());
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(TTest, DetectsMeanShift) {
+  common::Xoshiro256 rng(22);
+  MomentAccumulator fixed, random;
+  for (int i = 0; i < 20000; ++i) {
+    fixed.add(static_cast<double>(rng.next() % 8));
+    random.add(static_cast<double>(rng.next() % 8) + 0.2);
+  }
+  const TTestResult r = welch_t_test(fixed, random);
+  EXPECT_GT(std::fabs(r.t), kTvlaThreshold);
+}
+
+TEST(TTest, NullStaysBelowThreshold) {
+  common::Xoshiro256 rng(23);
+  MomentAccumulator fixed, random;
+  for (int i = 0; i < 20000; ++i) {
+    fixed.add(static_cast<double>(rng.next() % 8));
+    random.add(static_cast<double>(rng.next() % 8));
+  }
+  EXPECT_LT(std::fabs(welch_t_test(fixed, random).t), kTvlaThreshold);
+}
+
+TEST(TTest, DegenerateInputsGiveZero) {
+  MomentAccumulator empty, one;
+  one.add(3.0);
+  EXPECT_EQ(welch_t_test(empty, one).t, 0.0);
+  MomentAccumulator ca, cb;  // constant equal samples
+  for (int i = 0; i < 10; ++i) {
+    ca.add(2.0);
+    cb.add(2.0);
+  }
+  EXPECT_EQ(welch_t_test(ca, cb).t, 0.0);
+}
+
+}  // namespace
+}  // namespace sca::stats

@@ -1,0 +1,28 @@
+// Shared helpers for driving masked circuits in functional tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/gadgets/bus.hpp"
+#include "src/netlist/ir.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace sca::testutil {
+
+/// Feeds every kRandom primary input a fresh value for this cycle: uniform
+/// bits everywhere, then overwrites the listed buses with uniform *non-zero*
+/// bytes (same value in all 64 lanes — functional tests check lane 0).
+inline void feed_randomness(sim::Simulator& simulator,
+                            const netlist::Netlist& nl,
+                            const std::vector<gadgets::Bus>& nonzero_buses,
+                            common::Xoshiro256& rng) {
+  for (const auto& in : nl.inputs())
+    if (in.role == netlist::InputRole::kRandom)
+      simulator.set_input(in.signal, rng.bit() ? ~std::uint64_t{0} : 0);
+  for (const gadgets::Bus& bus : nonzero_buses)
+    gadgets::set_bus_all_lanes(simulator, bus, rng.nonzero_byte());
+}
+
+}  // namespace sca::testutil
