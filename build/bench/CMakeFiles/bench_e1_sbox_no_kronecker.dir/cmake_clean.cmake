@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_sbox_no_kronecker.dir/bench_e1_sbox_no_kronecker.cpp.o"
+  "CMakeFiles/bench_e1_sbox_no_kronecker.dir/bench_e1_sbox_no_kronecker.cpp.o.d"
+  "bench_e1_sbox_no_kronecker"
+  "bench_e1_sbox_no_kronecker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_sbox_no_kronecker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_kronecker_flaw.dir/bench_e2_kronecker_flaw.cpp.o"
+  "CMakeFiles/bench_e2_kronecker_flaw.dir/bench_e2_kronecker_flaw.cpp.o.d"
+  "bench_e2_kronecker_flaw"
+  "bench_e2_kronecker_flaw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_kronecker_flaw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_fresh_masks.dir/bench_e3_fresh_masks.cpp.o"
+  "CMakeFiles/bench_e3_fresh_masks.dir/bench_e3_fresh_masks.cpp.o.d"
+  "bench_e3_fresh_masks"
+  "bench_e3_fresh_masks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_fresh_masks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_second_order.dir/bench_e9_second_order.cpp.o"
+  "CMakeFiles/bench_e9_second_order.dir/bench_e9_second_order.cpp.o.d"
+  "bench_e9_second_order"
+  "bench_e9_second_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_second_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_masked_aes.dir/bench_masked_aes.cpp.o"
+  "CMakeFiles/bench_masked_aes.dir/bench_masked_aes.cpp.o.d"
+  "bench_masked_aes"
+  "bench_masked_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_masked_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_search.dir/bench_partition_search.cpp.o"
+  "CMakeFiles/bench_partition_search.dir/bench_partition_search.cpp.o.d"
+  "bench_partition_search"
+  "bench_partition_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_second_order_sbox.dir/bench_second_order_sbox.cpp.o"
+  "CMakeFiles/bench_second_order_sbox.dir/bench_second_order_sbox.cpp.o.d"
+  "bench_second_order_sbox"
+  "bench_second_order_sbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_second_order_sbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_second_order_sbox.
+# This may be replaced when dependencies are built.

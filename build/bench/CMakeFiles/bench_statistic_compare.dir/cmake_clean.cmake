@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_statistic_compare.dir/bench_statistic_compare.cpp.o"
+  "CMakeFiles/bench_statistic_compare.dir/bench_statistic_compare.cpp.o.d"
+  "bench_statistic_compare"
+  "bench_statistic_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statistic_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaltool.dir/evaltool.cpp.o"
+  "CMakeFiles/evaltool.dir/evaltool.cpp.o.d"
+  "evaltool"
+  "evaltool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaltool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masked_aes_demo.dir/masked_aes_demo.cpp.o"
+  "CMakeFiles/masked_aes_demo.dir/masked_aes_demo.cpp.o.d"
+  "masked_aes_demo"
+  "masked_aes_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masked_aes_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

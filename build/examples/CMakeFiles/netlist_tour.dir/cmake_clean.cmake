@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_tour.dir/netlist_tour.cpp.o"
+  "CMakeFiles/netlist_tour.dir/netlist_tour.cpp.o.d"
+  "netlist_tour"
+  "netlist_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

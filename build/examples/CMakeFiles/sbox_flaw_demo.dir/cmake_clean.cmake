@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbox_flaw_demo.dir/sbox_flaw_demo.cpp.o"
+  "CMakeFiles/sbox_flaw_demo.dir/sbox_flaw_demo.cpp.o.d"
+  "sbox_flaw_demo"
+  "sbox_flaw_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbox_flaw_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

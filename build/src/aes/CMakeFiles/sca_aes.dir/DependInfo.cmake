@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aes/aes128.cpp" "src/aes/CMakeFiles/sca_aes.dir/aes128.cpp.o" "gcc" "src/aes/CMakeFiles/sca_aes.dir/aes128.cpp.o.d"
+  "/root/repo/src/aes/sbox.cpp" "src/aes/CMakeFiles/sca_aes.dir/sbox.cpp.o" "gcc" "src/aes/CMakeFiles/sca_aes.dir/sbox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/sca_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_aes.dir/aes128.cpp.o"
+  "CMakeFiles/sca_aes.dir/aes128.cpp.o.d"
+  "CMakeFiles/sca_aes.dir/sbox.cpp.o"
+  "CMakeFiles/sca_aes.dir/sbox.cpp.o.d"
+  "libsca_aes.a"
+  "libsca_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

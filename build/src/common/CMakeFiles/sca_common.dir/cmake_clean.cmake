@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_common.dir/rng.cpp.o"
+  "CMakeFiles/sca_common.dir/rng.cpp.o.d"
+  "libsca_common.a"
+  "libsca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_eval.dir/campaign.cpp.o"
+  "CMakeFiles/sca_eval.dir/campaign.cpp.o.d"
+  "CMakeFiles/sca_eval.dir/probes.cpp.o"
+  "CMakeFiles/sca_eval.dir/probes.cpp.o.d"
+  "CMakeFiles/sca_eval.dir/report.cpp.o"
+  "CMakeFiles/sca_eval.dir/report.cpp.o.d"
+  "CMakeFiles/sca_eval.dir/search.cpp.o"
+  "CMakeFiles/sca_eval.dir/search.cpp.o.d"
+  "libsca_eval.a"
+  "libsca_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gadgets/bus.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/bus.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/bus.cpp.o.d"
+  "/root/repo/src/gadgets/conversions.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/conversions.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/conversions.cpp.o.d"
+  "/root/repo/src/gadgets/conversions2.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/conversions2.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/conversions2.cpp.o.d"
+  "/root/repo/src/gadgets/dom.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/dom.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/dom.cpp.o.d"
+  "/root/repo/src/gadgets/dom_gf.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/dom_gf.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/dom_gf.cpp.o.d"
+  "/root/repo/src/gadgets/dom_sbox.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/dom_sbox.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/dom_sbox.cpp.o.d"
+  "/root/repo/src/gadgets/gf_circuits.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/gf_circuits.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/gf_circuits.cpp.o.d"
+  "/root/repo/src/gadgets/kronecker.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/kronecker.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/kronecker.cpp.o.d"
+  "/root/repo/src/gadgets/masked_aes.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/masked_aes.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/masked_aes.cpp.o.d"
+  "/root/repo/src/gadgets/masked_sbox.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/masked_sbox.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/masked_sbox.cpp.o.d"
+  "/root/repo/src/gadgets/masked_sbox2.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/masked_sbox2.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/masked_sbox2.cpp.o.d"
+  "/root/repo/src/gadgets/randomness_plan.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/randomness_plan.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/randomness_plan.cpp.o.d"
+  "/root/repo/src/gadgets/sharing.cpp" "src/gadgets/CMakeFiles/sca_gadgets.dir/sharing.cpp.o" "gcc" "src/gadgets/CMakeFiles/sca_gadgets.dir/sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/sca_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/sca_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sca_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sca_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_gadgets.dir/bus.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/bus.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/conversions.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/conversions.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/conversions2.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/conversions2.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/dom.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/dom.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/dom_gf.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/dom_gf.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/dom_sbox.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/dom_sbox.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/gf_circuits.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/gf_circuits.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/kronecker.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/kronecker.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/masked_aes.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/masked_aes.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/masked_sbox.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/masked_sbox.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/masked_sbox2.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/masked_sbox2.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/randomness_plan.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/randomness_plan.cpp.o.d"
+  "CMakeFiles/sca_gadgets.dir/sharing.cpp.o"
+  "CMakeFiles/sca_gadgets.dir/sharing.cpp.o.d"
+  "libsca_gadgets.a"
+  "libsca_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_gf.dir/gf2.cpp.o"
+  "CMakeFiles/sca_gf.dir/gf2.cpp.o.d"
+  "CMakeFiles/sca_gf.dir/gf256.cpp.o"
+  "CMakeFiles/sca_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/sca_gf.dir/tower.cpp.o"
+  "CMakeFiles/sca_gf.dir/tower.cpp.o.d"
+  "libsca_gf.a"
+  "libsca_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/celllib.cpp" "src/netlist/CMakeFiles/sca_netlist.dir/celllib.cpp.o" "gcc" "src/netlist/CMakeFiles/sca_netlist.dir/celllib.cpp.o.d"
+  "/root/repo/src/netlist/cone.cpp" "src/netlist/CMakeFiles/sca_netlist.dir/cone.cpp.o" "gcc" "src/netlist/CMakeFiles/sca_netlist.dir/cone.cpp.o.d"
+  "/root/repo/src/netlist/export.cpp" "src/netlist/CMakeFiles/sca_netlist.dir/export.cpp.o" "gcc" "src/netlist/CMakeFiles/sca_netlist.dir/export.cpp.o.d"
+  "/root/repo/src/netlist/ir.cpp" "src/netlist/CMakeFiles/sca_netlist.dir/ir.cpp.o" "gcc" "src/netlist/CMakeFiles/sca_netlist.dir/ir.cpp.o.d"
+  "/root/repo/src/netlist/textio.cpp" "src/netlist/CMakeFiles/sca_netlist.dir/textio.cpp.o" "gcc" "src/netlist/CMakeFiles/sca_netlist.dir/textio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_netlist.dir/celllib.cpp.o"
+  "CMakeFiles/sca_netlist.dir/celllib.cpp.o.d"
+  "CMakeFiles/sca_netlist.dir/cone.cpp.o"
+  "CMakeFiles/sca_netlist.dir/cone.cpp.o.d"
+  "CMakeFiles/sca_netlist.dir/export.cpp.o"
+  "CMakeFiles/sca_netlist.dir/export.cpp.o.d"
+  "CMakeFiles/sca_netlist.dir/ir.cpp.o"
+  "CMakeFiles/sca_netlist.dir/ir.cpp.o.d"
+  "CMakeFiles/sca_netlist.dir/textio.cpp.o"
+  "CMakeFiles/sca_netlist.dir/textio.cpp.o.d"
+  "libsca_netlist.a"
+  "libsca_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sca_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sca_sim.dir/trace.cpp.o"
+  "CMakeFiles/sca_sim.dir/trace.cpp.o.d"
+  "libsca_sim.a"
+  "libsca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

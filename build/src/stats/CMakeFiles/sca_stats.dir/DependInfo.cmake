@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/gtest_stat.cpp" "src/stats/CMakeFiles/sca_stats.dir/gtest_stat.cpp.o" "gcc" "src/stats/CMakeFiles/sca_stats.dir/gtest_stat.cpp.o.d"
+  "/root/repo/src/stats/pvalue.cpp" "src/stats/CMakeFiles/sca_stats.dir/pvalue.cpp.o" "gcc" "src/stats/CMakeFiles/sca_stats.dir/pvalue.cpp.o.d"
+  "/root/repo/src/stats/ttest.cpp" "src/stats/CMakeFiles/sca_stats.dir/ttest.cpp.o" "gcc" "src/stats/CMakeFiles/sca_stats.dir/ttest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

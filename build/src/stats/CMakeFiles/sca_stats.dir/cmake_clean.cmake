@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_stats.dir/gtest_stat.cpp.o"
+  "CMakeFiles/sca_stats.dir/gtest_stat.cpp.o.d"
+  "CMakeFiles/sca_stats.dir/pvalue.cpp.o"
+  "CMakeFiles/sca_stats.dir/pvalue.cpp.o.d"
+  "CMakeFiles/sca_stats.dir/ttest.cpp.o"
+  "CMakeFiles/sca_stats.dir/ttest.cpp.o.d"
+  "libsca_stats.a"
+  "libsca_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verif/exact.cpp" "src/verif/CMakeFiles/sca_verif.dir/exact.cpp.o" "gcc" "src/verif/CMakeFiles/sca_verif.dir/exact.cpp.o.d"
+  "/root/repo/src/verif/unroll.cpp" "src/verif/CMakeFiles/sca_verif.dir/unroll.cpp.o" "gcc" "src/verif/CMakeFiles/sca_verif.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sca_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sca_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

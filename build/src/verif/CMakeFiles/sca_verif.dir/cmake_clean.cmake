@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sca_verif.dir/exact.cpp.o"
+  "CMakeFiles/sca_verif.dir/exact.cpp.o.d"
+  "CMakeFiles/sca_verif.dir/unroll.cpp.o"
+  "CMakeFiles/sca_verif.dir/unroll.cpp.o.d"
+  "libsca_verif.a"
+  "libsca_verif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sca_verif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sca_verif.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadgets2_test.dir/gadgets2_test.cpp.o"
+  "CMakeFiles/gadgets2_test.dir/gadgets2_test.cpp.o.d"
+  "gadgets2_test"
+  "gadgets2_test.pdb"
+  "gadgets2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadgets2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

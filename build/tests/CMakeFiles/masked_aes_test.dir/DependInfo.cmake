@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/masked_aes_test.cpp" "tests/CMakeFiles/masked_aes_test.dir/masked_aes_test.cpp.o" "gcc" "tests/CMakeFiles/masked_aes_test.dir/masked_aes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/sca_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/sca_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sca_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sca_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sca_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gadgets/CMakeFiles/sca_gadgets.dir/DependInfo.cmake"
+  "/root/repo/build/src/verif/CMakeFiles/sca_verif.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sca_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

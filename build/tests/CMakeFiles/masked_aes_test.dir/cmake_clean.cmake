@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masked_aes_test.dir/masked_aes_test.cpp.o"
+  "CMakeFiles/masked_aes_test.dir/masked_aes_test.cpp.o.d"
+  "masked_aes_test"
+  "masked_aes_test.pdb"
+  "masked_aes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masked_aes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verif_test.dir/verif_test.cpp.o"
+  "CMakeFiles/verif_test.dir/verif_test.cpp.o.d"
+  "verif_test"
+  "verif_test.pdb"
+  "verif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_test[1]_include.cmake")
+include("/root/repo/build/tests/aes_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/gadgets_test[1]_include.cmake")
+include("/root/repo/build/tests/masked_aes_test[1]_include.cmake")
+include("/root/repo/build/tests/verif_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/gadgets2_test[1]_include.cmake")
