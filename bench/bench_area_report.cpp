@@ -21,6 +21,7 @@ void report_row(const char* name, const netlist::Netlist& nl) {
 }  // namespace
 
 int main() {
+  benchutil::Scorecard score("area_report");
   std::printf("X1: implementation cost (NanGate45-like mapping)\n\n");
   std::printf("  module                                    comb      seq        area\n");
 
@@ -67,5 +68,5 @@ int main() {
   for (const Row& row : rows)
     std::printf("  %-38s %zu      %s / %s\n", row.plan.name().c_str(),
                 row.plan.fresh_count(), row.glitch, row.transition);
-  return 0;
+  return score.exit_code();
 }

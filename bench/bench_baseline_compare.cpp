@@ -22,7 +22,7 @@ using namespace sca;
 
 int main() {
   const std::size_t sims = benchutil::simulations(150000);
-  benchutil::Scorecard score;
+  benchutil::Scorecard score("baseline_compare");
 
   // Build both designs.
   netlist::Netlist mult_nl;

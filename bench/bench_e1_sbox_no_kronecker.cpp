@@ -13,6 +13,7 @@
 using namespace sca;
 
 int main() {
+  benchutil::Scorecard score("e1_sbox_no_kronecker");
   const std::size_t sims = benchutil::simulations(200000);
   std::printf("E1: masked Sbox without Kronecker delta, fixed non-zero input\n");
   std::printf("    (paper: 4M simulations; this run: %zu — set SCA_SIMS)\n\n",
@@ -24,7 +25,6 @@ int main() {
       options, /*fixed_value=*/0x01, eval::ProbeModel::kGlitch, sims);
   std::printf("%s\n", to_string(result, 5).c_str());
 
-  benchutil::Scorecard score;
   score.expect("Sbox w/o Kronecker, fixed 0x01, glitch model", true, result);
   return score.exit_code();
 }

@@ -16,6 +16,7 @@
 using namespace sca;
 
 int main() {
+  benchutil::Scorecard score("e2_kronecker_flaw");
   const std::size_t sims = benchutil::simulations(200000);
   std::printf("E2/F3: masked Sbox with Kronecker + Eq.(6) optimization, "
               "fixed input 0x00\n");
@@ -28,7 +29,8 @@ int main() {
       options, /*fixed_value=*/0x00, eval::ProbeModel::kGlitch, sims);
   std::printf("%s\n", to_string(result, 8).c_str());
 
-  benchutil::Scorecard score;
+  score.note("sims", sims);
+  score.note("threads", result.threads_used);
   score.expect("Sbox w/ Kronecker + Eq.(6), fixed 0x00, glitch model",
                /*expected_pass=*/false, result);
 

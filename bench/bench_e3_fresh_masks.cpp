@@ -14,6 +14,7 @@
 using namespace sca;
 
 int main() {
+  benchutil::Scorecard score("e3_fresh_masks");
   const std::size_t sims = benchutil::simulations(200000);
   std::printf("E3: 7 independent fresh mask bits restore security\n\n");
 
@@ -29,7 +30,6 @@ int main() {
   std::printf("exact verifier on the Kronecker alone: %s (%zu probes)\n\n",
               exact.any_leak ? "LEAKS" : "secure", exact.probes_total);
 
-  benchutil::Scorecard score;
   score.expect("Sbox w/ full-fresh Kronecker, fixed 0x00, glitch model", true,
                sampled);
   score.expect_flag("exact verifier confirms (no leak, no skipped probe)",

@@ -36,7 +36,7 @@ double exact_severity(const gadgets::RandomnessPlan& plan, bool* leaks,
 
 int main() {
   const std::size_t sims = benchutil::simulations(150000);
-  benchutil::Scorecard score;
+  benchutil::Scorecard score("e4_single_reuse");
 
   std::printf("E4: single reuse r1 = r3 (plan: %s)\n",
               gadgets::RandomnessPlan::kron1_single_reuse_r1r3().describe().c_str());

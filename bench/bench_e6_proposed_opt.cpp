@@ -14,7 +14,7 @@ using namespace sca;
 
 int main() {
   const std::size_t sims = benchutil::simulations(200000);
-  benchutil::Scorecard score;
+  benchutil::Scorecard score("e6_proposed_opt");
 
   const auto eq9 = gadgets::RandomnessPlan::kron1_proposed_eq9();
   std::printf("E6: the proposed optimization Eq.(9): %s\n\n",

@@ -14,7 +14,7 @@ using namespace sca;
 
 int main() {
   const std::size_t sims = benchutil::simulations(150000);
-  benchutil::Scorecard score;
+  benchutil::Scorecard score("e8_transition_search");
 
   std::printf("E8: transition-extended probing — Eq.(9) breaks, search for "
               "surviving reuse\n\n");

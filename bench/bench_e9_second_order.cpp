@@ -24,7 +24,9 @@ using namespace sca;
 int main() {
   const std::size_t sims1 = benchutil::simulations(80000);
   const std::size_t sims2 = std::max<std::size_t>(benchutil::simulations(30000) / 2, 20000);
-  benchutil::Scorecard score;
+  benchutil::Scorecard score("e9_second_order");
+  score.note("sims_order1", sims1);
+  score.note("sims_order2", sims2);
 
   std::printf("E9: second-order Kronecker delta (3 shares), glitch+transition\n");
   std::printf("    order-1 budget %zu, order-2 budget %zu (SCA_SIMS scales)\n\n",

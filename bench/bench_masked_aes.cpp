@@ -19,7 +19,7 @@ using namespace sca;
 
 int main() {
   const std::size_t sims = benchutil::simulations(30000);
-  benchutil::Scorecard score;
+  benchutil::Scorecard score("masked_aes");
 
   netlist::Netlist nl;
   gadgets::MaskedAesOptions options;

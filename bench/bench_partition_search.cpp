@@ -16,6 +16,7 @@
 using namespace sca;
 
 int main() {
+  benchutil::Scorecard score("partition_search");
   std::size_t max_fresh = 4;
   if (const char* env = std::getenv("SCA_MAX_FRESH"))
     max_fresh = std::strtoul(env, nullptr, 10);
@@ -54,7 +55,6 @@ int main() {
                 plan->plan.describe().c_str());
   }
 
-  benchutil::Scorecard score;
   score.expect_flag("minimum fresh bits under glitch model = 4 (Eq. (9))",
                     true, result.min_secure_fresh() == 4);
   score.expect_flag("Eq. (9)'s shape among the secure plans", true, eq9_found);

@@ -1,9 +1,18 @@
-// Performance benchmarks (google-benchmark): the cost centers of the
-// evaluation tool — field arithmetic, netlist construction and analysis,
-// bit-parallel simulation, statistics, and end-to-end campaign throughput.
+// Performance benchmarks: a scaling trajectory for the parallel campaign
+// engine (run with no arguments; emits BENCH_perf.json) plus
+// google-benchmark microbenches over the cost centers — field arithmetic,
+// netlist construction and analysis, bit-parallel simulation, statistics,
+// and end-to-end campaign throughput (run with any google-benchmark
+// argument, e.g. `bench_perf --benchmark_filter=all`).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/bench_util.hpp"
 #include "src/aes/aes128.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/campaign.hpp"
@@ -151,6 +160,123 @@ void BM_CampaignKronecker10k(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignKronecker10k);
 
+// One timed E2-style campaign (masked Sbox + Eq.(6) Kronecker — the
+// paper's Figure 3 workload) at a given thread count.
+struct PerfPoint {
+  unsigned threads = 1;
+  double seconds = 0.0;
+  double sims_per_sec = 0.0;
+  double gate_evals_per_sec = 0.0;
+  double speedup = 1.0;
+  double max_minus_log10_p = 0.0;
+};
+
+PerfPoint run_e2_point(const netlist::Netlist& nl,
+                       const gadgets::MaskedSbox& sbox, std::size_t sims,
+                       std::size_t comb_gates, unsigned threads) {
+  eval::CampaignOptions options;
+  options.model = eval::ProbeModel::kGlitch;
+  options.simulations = sims;
+  options.fixed_values[0] = 0x00;
+  options.nonzero_random_buses = {sbox.rand_b2m};
+  options.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  const eval::CampaignResult result = eval::run_fixed_vs_random(nl, options);
+  PerfPoint point;
+  point.threads = threads;
+  point.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  point.sims_per_sec =
+      2.0 * static_cast<double>(result.simulations_per_group) / point.seconds;
+  point.gate_evals_per_sec = static_cast<double>(result.total_cycles) *
+                             static_cast<double>(comb_gates) * 64.0 /
+                             point.seconds;
+  point.max_minus_log10_p = result.max_minus_log10_p;
+  return point;
+}
+
+// The scaling trajectory: the E2 campaign at 1..8 threads, cross-checked
+// for bit-identical statistics, written to BENCH_perf.json.
+int run_perf_trajectory() {
+  const std::size_t sims = benchutil::simulations(20000);
+  netlist::Netlist nl;
+  gadgets::MaskedSboxOptions sbox_options;
+  sbox_options.kron_plan = gadgets::RandomnessPlan::kron1_demeyer_eq6();
+  const gadgets::MaskedSbox sbox = gadgets::build_masked_sbox(nl, sbox_options);
+  const std::size_t comb_gates = sim::Schedule(nl).comb_gates();
+
+  std::printf("perf trajectory: E2 campaign (masked Sbox + Eq.(6)), %zu sims"
+              " (SCA_SIMS scales), %zu gates (%zu comb)\n\n",
+              sims, nl.size(), comb_gates);
+  std::printf("  threads   seconds     sims/sec    gate-evals/sec   speedup\n");
+
+  std::vector<PerfPoint> points;
+  bool deterministic = true;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    PerfPoint p = run_e2_point(nl, sbox, sims, comb_gates, threads);
+    if (!points.empty()) {
+      p.speedup = p.sims_per_sec / points.front().sims_per_sec;
+      deterministic &=
+          p.max_minus_log10_p == points.front().max_minus_log10_p;
+    }
+    std::printf("  %7u  %8.2f  %11.0f  %15.3g  %7.2fx\n", p.threads,
+                p.seconds, p.sims_per_sec, p.gate_evals_per_sec, p.speedup);
+    points.push_back(p);
+  }
+  std::printf("\n  statistics bit-identical across thread counts: %s\n",
+              deterministic ? "yes" : "NO — BUG");
+
+  const PerfPoint& best = points.back();
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"perf\",\n";
+  json << "  \"workload\": \"e2_sbox_eq6\",\n";
+  json << "  \"sims\": " << sims << ",\n";
+  json << "  \"gates\": " << nl.size() << ",\n";
+  json << "  \"comb_gates\": " << comb_gates << ",\n";
+  json << "  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n";
+  json << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PerfPoint& p = points[i];
+    json << "    {\"threads\": " << p.threads << ", \"seconds\": " << p.seconds
+         << ", \"sims_per_sec\": " << p.sims_per_sec
+         << ", \"gate_evals_per_sec\": " << p.gate_evals_per_sec
+         << ", \"speedup\": " << p.speedup << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"threads\": " << best.threads << ",\n";
+  json << "  \"sims_per_sec\": " << best.sims_per_sec << ",\n";
+  json << "  \"gate_evals_per_sec\": " << best.gate_evals_per_sec << ",\n";
+  json << "  \"speedup\": " << best.speedup << "\n}\n";
+  {
+    std::ofstream out("BENCH_perf.json");
+    out << json.str();
+  }
+  std::printf("  wrote BENCH_perf.json (%u threads: %.0f sims/sec, %.2fx)\n",
+              best.threads, best.sims_per_sec, best.speedup);
+
+  // The cross-commit trajectory file gets a flat one-line record too.
+  benchutil::JsonLine line;
+  line.add("bench", "perf");
+  line.add("pass", deterministic);
+  line.add("seconds", points.front().seconds);
+  line.add("threads", best.threads);
+  line.add("sims_per_sec", best.sims_per_sec);
+  line.add("gate_evals_per_sec", best.gate_evals_per_sec);
+  line.add("speedup", best.speedup);
+  line.append_to(benchutil::bench_json_path());
+  return deterministic ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // No arguments: the scaling trajectory. Any argument: google-benchmark
+  // microbenches (all their flags work, e.g. --benchmark_filter).
+  if (argc <= 1) return run_perf_trajectory();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

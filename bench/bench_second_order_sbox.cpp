@@ -16,7 +16,7 @@ using namespace sca;
 int main() {
   const std::size_t sims1 = benchutil::simulations(100000);
   const std::size_t sims2 = std::max<std::size_t>(sims1 / 5, 20000);
-  benchutil::Scorecard score;
+  benchutil::Scorecard score("second_order_sbox");
 
   netlist::Netlist nl;
   gadgets::MaskedSbox2Options options;

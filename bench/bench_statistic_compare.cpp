@@ -28,7 +28,7 @@ eval::CampaignResult run_with(const gadgets::RandomnessPlan& plan,
 
 int main() {
   const std::size_t sims = benchutil::simulations(200000);
-  benchutil::Scorecard score;
+  benchutil::Scorecard score("statistic_compare");
 
   std::printf("X7: G-test vs TVLA t-test on the Kronecker delta (%zu sims)\n\n",
               sims);

@@ -19,7 +19,7 @@
 using namespace sca;
 
 int main() {
-  benchutil::Scorecard score;
+  benchutil::Scorecard score("structure");
 
   std::printf("F1: Kronecker delta structure (Fig. 1b / Fig. 3)\n");
   {

@@ -4,11 +4,20 @@
 // PASS/FAIL verdict table. Simulation budgets default to laptop-scale and
 // can be raised to the paper's scale with SCA_SIMS (e.g. SCA_SIMS=4000000
 // matches the paper's 4 million simulations).
+//
+// Machine-readable trajectory: when SCA_BENCH_JSON names a file, every
+// bench appends one JSON object per run — {"bench": ..., "pass": ...,
+// "seconds": ..., plus bench-specific fields} — so verdicts and runtimes
+// can be tracked across commits with a one-line scrape.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/core/campaign.hpp"
@@ -28,6 +37,68 @@ inline std::size_t simulations(std::size_t fallback) {
   }
   return fallback;
 }
+
+/// Trajectory file path (SCA_BENCH_JSON env), or nullptr when not recording.
+inline const char* bench_json_path() {
+  const char* path = std::getenv("SCA_BENCH_JSON");
+  return (path && *path) ? path : nullptr;
+}
+
+/// One flat JSON object, appended as a single line to a trajectory file.
+/// Keys are emitted in insertion order; values are pre-rendered (callers
+/// pass only identifiers, numbers, and bools — nothing needing escapes).
+class JsonLine {
+ public:
+  void add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
+  void add(const std::string& key, const char* value) {
+    add(key, std::string(value));
+  }
+  void add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void add(const std::string& key, double value) {
+    std::ostringstream os;
+    os << value;
+    fields_.emplace_back(key, os.str());
+  }
+  template <typename Int,
+            typename = std::enable_if_t<std::is_integral_v<Int>>>
+  void add(const std::string& key, Int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+
+  /// Appends every field of `other` after this line's fields.
+  void extend(const JsonLine& other) {
+    fields_.insert(fields_.end(), other.fields_.begin(), other.fields_.end());
+  }
+
+  std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+  /// Appends render() + newline to `path`. Best-effort: an unwritable path
+  /// warns on stderr but never fails the bench.
+  void append_to(const char* path) const {
+    if (!path) return;
+    if (std::FILE* f = std::fopen(path, "a")) {
+      const std::string line = render() + "\n";
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "warning: cannot append bench JSON to %s\n", path);
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Builds a standalone Kronecker delta netlist over `share_count` shares.
 inline netlist::Netlist kronecker_netlist(const gadgets::RandomnessPlan& plan,
@@ -70,9 +141,16 @@ inline eval::CampaignResult run_sbox(const gadgets::MaskedSboxOptions& sbox_opts
   return eval::run_fixed_vs_random(nl, options);
 }
 
-/// Prints "expected X, got Y" rows and tracks overall success.
+/// Prints "expected X, got Y" rows and tracks overall success. Construct
+/// with the bench's name to have exit_code() append the verdict and wall
+/// time to the SCA_BENCH_JSON trajectory.
 class Scorecard {
  public:
+  Scorecard() : start_(std::chrono::steady_clock::now()) {}
+  explicit Scorecard(std::string bench_name)
+      : bench_(std::move(bench_name)),
+        start_(std::chrono::steady_clock::now()) {}
+
   void expect(const std::string& what, bool expected_pass,
               const eval::CampaignResult& result) {
     const bool match = result.pass == expected_pass;
@@ -90,11 +168,39 @@ class Scorecard {
                 match ? "[reproduced]" : "[MISMATCH]");
   }
 
-  int exit_code() const { return ok_ ? 0 : 1; }
+  /// Attaches an extra field to this bench's trajectory record.
+  template <typename V>
+  void note(const std::string& key, V value) {
+    extra_.add(key, value);
+  }
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Final verdict; appends {bench, pass, seconds, notes...} to the
+  /// SCA_BENCH_JSON trajectory when a bench name was given.
+  int exit_code() {
+    if (!bench_.empty()) {
+      JsonLine line;
+      line.add("bench", bench_);
+      line.add("pass", ok_);
+      line.add("seconds", seconds());
+      line.extend(extra_);
+      line.append_to(bench_json_path());
+    }
+    return ok_ ? 0 : 1;
+  }
+
   bool ok() const { return ok_; }
 
  private:
   bool ok_ = true;
+  std::string bench_;
+  JsonLine extra_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace sca::benchutil

@@ -183,22 +183,58 @@ bench/CMakeFiles/bench_perf.dir/bench_perf.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/aes/aes128.hpp /usr/include/c++/12/array \
- /root/repo/src/common/rng.hpp /root/repo/src/core/campaign.hpp \
- /root/repo/src/core/probes.hpp /root/repo/src/netlist/cone.hpp \
- /root/repo/src/common/dynamic_bitset.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/bench/bench_util.hpp \
+ /root/repo/src/core/campaign.hpp /root/repo/src/core/probes.hpp \
+ /root/repo/src/netlist/cone.hpp /root/repo/src/common/dynamic_bitset.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /root/repo/src/common/bitops.hpp /usr/include/c++/12/bit \
  /root/repo/src/common/check.hpp /root/repo/src/netlist/ir.hpp \
  /usr/include/c++/12/optional /root/repo/src/gadgets/bus.hpp \
  /usr/include/c++/12/span /root/repo/src/gf/gf2.hpp \
- /root/repo/src/sim/simulator.hpp /root/repo/src/stats/gtest_stat.hpp \
- /root/repo/src/stats/ttest.hpp /root/repo/src/gadgets/kronecker.hpp \
+ /root/repo/src/sim/simulator.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/stats/gtest_stat.hpp /root/repo/src/stats/ttest.hpp \
+ /root/repo/src/core/report.hpp /root/repo/src/gadgets/kronecker.hpp \
  /root/repo/src/gadgets/dom.hpp \
  /root/repo/src/gadgets/randomness_plan.hpp \
- /root/repo/src/gadgets/masked_sbox.hpp /root/repo/src/gf/gf256.hpp \
+ /root/repo/src/gadgets/masked_sbox.hpp /root/repo/src/aes/aes128.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/gf/gf256.hpp \
  /root/repo/src/gf/tower.hpp /root/repo/src/verif/exact.hpp

@@ -296,4 +296,14 @@ tests/CMakeFiles/common_test.dir/common_test.cpp.o: \
  /root/repo/src/common/../../src/common/bitops.hpp \
  /root/repo/src/common/../../src/common/check.hpp \
  /root/repo/src/common/../../src/common/dynamic_bitset.hpp \
- /root/repo/src/common/../../src/common/rng.hpp
+ /root/repo/src/common/../../src/common/rng.hpp \
+ /root/repo/src/common/../../src/common/thread_pool.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <thread>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/common/bitops.hpp"
 #include "src/common/check.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace sca::eval {
@@ -22,14 +23,20 @@ using netlist::SignalId;
 
 namespace {
 
-// Share inputs of one secret group arranged as [share][bit] -> signal.
+// Share inputs of one secret group arranged as [share][bit] -> signal, plus
+// the per-campaign constants of the group (value mask, fixed-group secret)
+// hoisted out of the per-cycle input-feeding loop.
 struct GroupInputs {
   std::uint32_t group = 0;
   std::vector<std::vector<SignalId>> share_bits;  // [share][bit]
   std::uint32_t bits = 0;
+  std::uint8_t value_mask = 0;   // (1 << bits) - 1
+  std::uint8_t fixed_byte = 0;   // fixed-group secret, pre-masked
 };
 
-std::vector<GroupInputs> collect_groups(const Netlist& nl) {
+std::vector<GroupInputs> collect_groups(
+    const Netlist& nl,
+    const std::map<std::uint32_t, std::uint8_t>& fixed_values) {
   std::map<std::uint32_t, GroupInputs> groups;
   for (const auto& in : nl.inputs()) {
     if (in.role != InputRole::kShare) continue;
@@ -50,6 +57,10 @@ std::vector<GroupInputs> collect_groups(const Netlist& nl) {
       for (SignalId s : share)
         require(s != netlist::kNoSignal, "campaign: missing share input bit");
     }
+    g.value_mask = g.bits >= 8 ? std::uint8_t{0xFF}
+                               : static_cast<std::uint8_t>((1u << g.bits) - 1);
+    if (auto it = fixed_values.find(g.group); it != fixed_values.end())
+      g.fixed_byte = static_cast<std::uint8_t>(it->second & g.value_mask);
     out.push_back(std::move(g));
   }
   require(!out.empty(), "campaign: netlist declares no share inputs");
@@ -74,6 +85,35 @@ struct Sample {
   std::vector<std::uint64_t> now;
   std::vector<std::uint64_t> prev;
   int group = 0;
+};
+
+// FNV-1a over the signal ids of a sorted observation vector — probe-set
+// dedup key. The map still compares full vectors on hash collision, so a
+// collision can never merge distinct sets.
+struct ObservationHash {
+  std::size_t operator()(const std::vector<SignalId>& v) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (SignalId s : v) {
+      h ^= static_cast<std::uint64_t>(s);
+      h *= 0x100000001b3ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// Accumulators of one work chunk for the probe sets of one batch; merged
+// into the master accumulators in chunk order.
+struct ChunkAccumulators {
+  std::vector<stats::ContingencyTable> tables;
+  std::vector<std::array<stats::MomentAccumulator, 2>> moments;
+};
+
+// Per-worker scratch: a private simulator over the shared schedule plus
+// reusable snapshot buffers.
+struct WorkerCtx {
+  explicit WorkerCtx(const sim::Schedule& schedule) : simulator(schedule) {}
+  sim::Simulator simulator;
+  std::vector<std::uint64_t> prev_snapshot;
 };
 
 }  // namespace
@@ -107,6 +147,19 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   for (std::size_t i = 0; i < stable_points.size(); ++i)
     dense_index[stable_points[i]] = i;
 
+  // Exact keys are only sound when the full key space fits the table: once
+  // the bin cap forces overflow pooling, the group whose observations have
+  // higher entropy pools more of its mass and a spurious group difference
+  // appears. So: compact (Hamming-weight observations) whenever 2^bits
+  // could exceed the cap; exact keys must also fit a 64-bit word. The cap
+  // depends only on the options — computed once, not per probe set.
+  std::size_t bin_cap_bits = 0;
+  while ((std::size_t{2} << bin_cap_bits) <= options.max_bins_per_set &&
+         bin_cap_bits < 60)
+    ++bin_cap_bits;
+  const std::size_t exact_limit =
+      std::min({options.max_observation_bits, bin_cap_bits, std::size_t{60}});
+
   // Enumerate probe sets and dedupe by union observation: a pair whose union
   // equals another set's union (including any single probe) is statistically
   // identical, so only the first instance is evaluated.
@@ -114,8 +167,10 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   std::vector<PreparedSet> prepared;
   std::size_t dropped = 0;
   {
-    std::map<std::vector<SignalId>, std::size_t> seen;
+    std::unordered_map<std::vector<SignalId>, std::size_t, ObservationHash>
+        seen;
     const auto sets = enumerate_probe_sets(universe.size(), options.order);
+    seen.reserve(sets.size());
     for (const auto& set : sets) {
       std::vector<SignalId> observed;
       for (std::size_t pi : set)
@@ -129,35 +184,27 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
         ++dropped;
         continue;
       }
-      seen.emplace(observed, prepared.size());
+      const auto [seen_it, inserted] =
+          seen.emplace(std::move(observed), prepared.size());
+      SCA_ASSERT(inserted, "campaign: probe-set dedup raced");
+      const std::vector<SignalId>& obs = seen_it->first;
       PreparedSet p;
       for (std::size_t pi : set) {
         if (!p.name.empty()) p.name += " & ";
         p.name += universe[pi].name;
         p.representatives.push_back(universe[pi].representative);
       }
-      p.dense.reserve(observed.size());
-      for (SignalId sig : observed) p.dense.push_back(dense_index.at(sig));
-      p.observation_bits = observed.size() * (transitions ? 2 : 1);
-      // Exact keys are only sound when the full key space fits the table:
-      // once the bin cap forces overflow pooling, the group whose
-      // observations have higher entropy pools more of its mass and a
-      // spurious group difference appears. So: compact (Hamming-weight
-      // observations) whenever 2^bits could exceed the cap; exact keys must
-      // also fit a 64-bit word.
-      std::size_t bin_cap_bits = 0;
-      while ((std::size_t{2} << bin_cap_bits) <= options.max_bins_per_set &&
-             bin_cap_bits < 60)
-        ++bin_cap_bits;
-      const std::size_t exact_limit = std::min(
-          {options.max_observation_bits, bin_cap_bits, std::size_t{60}});
+      p.dense.reserve(obs.size());
+      for (SignalId sig : obs) p.dense.push_back(dense_index.at(sig));
+      p.observation_bits = obs.size() * (transitions ? 2 : 1);
       p.compacted = p.observation_bits > exact_limit;
       p.table.set_bin_limit(options.max_bins_per_set);
       prepared.push_back(std::move(p));
     }
   }
 
-  const std::vector<GroupInputs> groups = collect_groups(nl);
+  const std::vector<GroupInputs> groups =
+      collect_groups(nl, options.fixed_values);
 
   std::vector<SignalId> plain_randoms;
   {
@@ -169,22 +216,19 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
         plain_randoms.push_back(in.signal);
   }
 
-  sim::Simulator simulator(nl);
-  Xoshiro256 rng(options.seed);
+  // Shared read-only evaluation plan; every worker simulator runs over it.
+  const sim::Schedule schedule(nl);
+  const unsigned threads = common::resolve_threads(options.threads);
 
-  std::array<std::uint8_t, 64> lane_bytes{};
-  auto feed_cycle = [&](bool fixed_group) {
+  // Feeds one cycle of inputs into `simulator` from `rng`.
+  auto feed_cycle = [&](sim::Simulator& simulator, Xoshiro256& rng,
+                        bool fixed_group) {
+    std::array<std::uint8_t, 64> lane_bytes{};
     for (const GroupInputs& g : groups) {
-      const std::uint8_t mask =
-          g.bits >= 8 ? std::uint8_t{0xFF}
-                      : static_cast<std::uint8_t>((1u << g.bits) - 1);
+      const std::uint8_t mask = g.value_mask;
       std::array<std::uint8_t, 64> secret{};
       if (fixed_group) {
-        std::uint8_t v = 0;
-        if (auto it = options.fixed_values.find(g.group);
-            it != options.fixed_values.end())
-          v = it->second;
-        secret.fill(static_cast<std::uint8_t>(v & mask));
+        secret.fill(g.fixed_byte);
       } else {
         for (auto& b : secret) b = static_cast<std::uint8_t>(rng.byte() & mask);
       }
@@ -218,73 +262,56 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
     }
   };
 
-  auto snapshot_stable = [&](std::vector<std::uint64_t>& into) {
+  auto snapshot_stable = [&](const sim::Simulator& simulator,
+                             std::vector<std::uint64_t>& into) {
     into.resize(stable_points.size());
     for (std::size_t i = 0; i < stable_points.size(); ++i)
       into[i] = simulator.value(stable_points[i]);
   };
 
-  // Processes a chunk of buffered samples into the contingency tables of the
-  // probe sets [set_begin, set_end), parallelized over sets (tables are
-  // per-set: no contention).
-  const std::size_t num_threads = std::max(
-      1u, std::min(std::thread::hardware_concurrency(),
-                   static_cast<unsigned>((prepared.size() + 63) / 64) * 2));
-  auto process_chunk = [&](const std::vector<Sample>& chunk,
-                           std::size_t set_begin, std::size_t set_end) {
-    auto worker = [&](std::size_t begin, std::size_t end) {
-      for (std::size_t si = begin; si < end; ++si) {
-        PreparedSet& set = prepared[si];
-        for (const Sample& sample : chunk) {
-          for (unsigned lane = 0; lane < 64; ++lane) {
-            if (ttest) {
-              // TVLA: Hamming weight of the (extended) observation.
-              unsigned hw = 0;
-              for (std::size_t d : set.dense) {
-                hw += (sample.now[d] >> lane) & 1u;
-                if (transitions) hw += (sample.prev[d] >> lane) & 1u;
-              }
-              set.moments[static_cast<std::size_t>(sample.group)].add(hw);
-              continue;
+  // Accumulates a buffer of samples into chunk-local tables for the probe
+  // sets [set_begin, set_end). Set-major for cache locality.
+  auto accumulate = [&](const std::vector<Sample>& buf, std::size_t set_begin,
+                        std::size_t set_end, ChunkAccumulators& acc) {
+    for (std::size_t si = set_begin; si < set_end; ++si) {
+      const PreparedSet& set = prepared[si];
+      stats::ContingencyTable& table = acc.tables[si - set_begin];
+      auto& moments = acc.moments[si - set_begin];
+      for (const Sample& sample : buf) {
+        for (unsigned lane = 0; lane < 64; ++lane) {
+          if (ttest) {
+            // TVLA: Hamming weight of the (extended) observation.
+            unsigned hw = 0;
+            for (std::size_t d : set.dense) {
+              hw += (sample.now[d] >> lane) & 1u;
+              if (transitions) hw += (sample.prev[d] >> lane) & 1u;
             }
-            std::uint64_t key;
-            if (set.compacted) {
-              // Compact mode: per-cycle Hamming weight of the observation.
-              unsigned hw_now = 0, hw_prev = 0;
-              for (std::size_t d : set.dense) {
-                hw_now += (sample.now[d] >> lane) & 1u;
-                if (transitions) hw_prev += (sample.prev[d] >> lane) & 1u;
-              }
-              key = hw_now * 257u + hw_prev;
-            } else {
-              std::uint64_t obs = 0;
-              std::size_t k = 0;
-              for (std::size_t d : set.dense)
-                obs |= ((sample.now[d] >> lane) & 1u) << k++;
-              if (transitions)
-                for (std::size_t d : set.dense)
-                  obs |= ((sample.prev[d] >> lane) & 1u) << k++;
-              key = obs;
-            }
-            set.table.add(key, sample.group);
+            moments[static_cast<std::size_t>(sample.group)].add(hw);
+            continue;
           }
+          std::uint64_t key;
+          if (set.compacted) {
+            // Compact mode: per-cycle Hamming weight of the observation.
+            unsigned hw_now = 0, hw_prev = 0;
+            for (std::size_t d : set.dense) {
+              hw_now += (sample.now[d] >> lane) & 1u;
+              if (transitions) hw_prev += (sample.prev[d] >> lane) & 1u;
+            }
+            key = hw_now * 257u + hw_prev;
+          } else {
+            std::uint64_t obs = 0;
+            std::size_t k = 0;
+            for (std::size_t d : set.dense)
+              obs |= ((sample.now[d] >> lane) & 1u) << k++;
+            if (transitions)
+              for (std::size_t d : set.dense)
+                obs |= ((sample.prev[d] >> lane) & 1u) << k++;
+            key = obs;
+          }
+          table.add(key, sample.group);
         }
       }
-    };
-    const std::size_t span = set_end - set_begin;
-    if (num_threads <= 1 || span < 2) {
-      worker(set_begin, set_end);
-      return;
     }
-    std::vector<std::thread> threads;
-    const std::size_t per_thread = common::ceil_div(span, num_threads);
-    for (std::size_t t = 0; t < num_threads; ++t) {
-      const std::size_t begin = set_begin + t * per_thread;
-      const std::size_t end = std::min(set_end, begin + per_thread);
-      if (begin >= end) break;
-      threads.emplace_back(worker, begin, end);
-    }
-    for (auto& th : threads) th.join();
   };
 
   // --- main loop ------------------------------------------------------------------
@@ -293,59 +320,115 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   const std::size_t observations_per_run = 64 * samples_per_run;
   const std::size_t runs_per_group = common::ceil_div(
       std::max<std::size_t>(options.simulations, 64), observations_per_run);
-  constexpr std::size_t kChunkSamples = 256;
+
+  // The run budget is sharded into fixed chunks; chunk c simulates runs
+  // [c * runs_per_chunk, ...) from an RNG stream seeded by
+  // chunk_seed(options.seed, c). The chunk grid depends only on the
+  // workload, never on the thread count, so every thread count (including
+  // 1) produces bit-identical statistics. ~256 chunks bound the ordered
+  // merge overhead while load-balancing well beyond any sane thread count.
+  const std::size_t runs_per_chunk =
+      common::ceil_div(runs_per_group, std::size_t{256});
+  const std::size_t num_chunks =
+      common::ceil_div(runs_per_group, runs_per_chunk);
+  const std::size_t cycles_per_run =
+      2 * (options.warmup_cycles +
+           samples_per_run * options.sample_interval);
 
   std::vector<ProbeSetResult> finished;
   finished.reserve(prepared.size());
+  std::size_t total_cycles = 0;
+  std::size_t table_batches = 0;
 
-  // One full (deterministically seeded) simulation pass accumulating only
-  // the probe sets [set_begin, set_end).
+  // One full simulation pass accumulating only the probe sets
+  // [set_begin, set_end), sharded over the worker pool. Chunk results merge
+  // into the master tables strictly in chunk order (workers park
+  // out-of-order chunks in `pending`), which keeps the bin-overflow pooling
+  // and the floating-point Welford merges deterministic.
   auto simulate_into = [&](std::size_t set_begin, std::size_t set_end) {
-    rng = Xoshiro256(options.seed);
-    std::vector<Sample> chunk;
-    chunk.reserve(kChunkSamples);
-    std::vector<std::uint64_t> prev_snapshot;
-    // Groups are interleaved so that a bin-limited table fills its key space
-    // from both groups evenly; running one group first would push the other
-    // group's tail keys into the overflow bin and fake a difference.
-    for (std::size_t run = 0; run < runs_per_group; ++run) {
-      for (int group = 0; group < 2; ++group) {
-        simulator.reset();
-        for (std::size_t c = 0; c < options.warmup_cycles; ++c) {
-          feed_cycle(group == 0);
-          simulator.settle();
-          snapshot_stable(prev_snapshot);
-          simulator.clock();
-        }
-        for (std::size_t s = 0; s < samples_per_run; ++s) {
-          for (std::size_t c = 0; c < options.sample_interval; ++c) {
-            feed_cycle(group == 0);
-            simulator.settle();
-            if (c + 1 == options.sample_interval) {
-              Sample sample;
-              sample.group = group;
-              snapshot_stable(sample.now);
-              if (transitions) sample.prev = prev_snapshot;
-              chunk.push_back(std::move(sample));
-              if (chunk.size() >= kChunkSamples) {
-                process_chunk(chunk, set_begin, set_end);
-                chunk.clear();
+    std::mutex merge_mutex;
+    std::map<std::size_t, ChunkAccumulators> pending;
+    std::size_t next_merge = 0;
+
+    common::parallel_for_stateful(
+        num_chunks, threads, [&] { return WorkerCtx(schedule); },
+        [&](WorkerCtx& ctx, std::size_t chunk) {
+          Xoshiro256 rng(common::chunk_seed(options.seed, chunk));
+          ChunkAccumulators acc;
+          acc.tables.resize(set_end - set_begin);
+          acc.moments.resize(set_end - set_begin);
+
+          const std::size_t run_begin = chunk * runs_per_chunk;
+          const std::size_t run_end =
+              std::min(runs_per_group, run_begin + runs_per_chunk);
+          std::vector<Sample> buf;
+          buf.reserve(2 * samples_per_run);
+          for (std::size_t run = run_begin; run < run_end; ++run) {
+            buf.clear();
+            // Groups are interleaved so that a bin-limited table fills its
+            // key space from both groups evenly; running one group first
+            // would push the other group's tail keys into the overflow bin
+            // and fake a difference.
+            for (int group = 0; group < 2; ++group) {
+              sim::Simulator& simulator = ctx.simulator;
+              simulator.reset();
+              for (std::size_t c = 0; c < options.warmup_cycles; ++c) {
+                feed_cycle(simulator, rng, group == 0);
+                simulator.settle();
+                snapshot_stable(simulator, ctx.prev_snapshot);
+                simulator.clock();
+              }
+              for (std::size_t s = 0; s < samples_per_run; ++s) {
+                for (std::size_t c = 0; c < options.sample_interval; ++c) {
+                  feed_cycle(simulator, rng, group == 0);
+                  simulator.settle();
+                  if (c + 1 == options.sample_interval) {
+                    Sample sample;
+                    sample.group = group;
+                    snapshot_stable(simulator, sample.now);
+                    if (transitions) sample.prev = ctx.prev_snapshot;
+                    buf.push_back(std::move(sample));
+                  }
+                  snapshot_stable(simulator, ctx.prev_snapshot);
+                  simulator.clock();
+                }
               }
             }
-            snapshot_stable(prev_snapshot);
-            simulator.clock();
+            accumulate(buf, set_begin, set_end, acc);
           }
-        }
-      }
-    }
-    if (!chunk.empty()) process_chunk(chunk, set_begin, set_end);
+
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          pending.emplace(chunk, std::move(acc));
+          for (auto it = pending.find(next_merge); it != pending.end();
+               it = pending.find(next_merge)) {
+            const ChunkAccumulators& ready = it->second;
+            for (std::size_t si = set_begin; si < set_end; ++si) {
+              if (ttest) {
+                prepared[si].moments[0].merge(ready.moments[si - set_begin][0]);
+                prepared[si].moments[1].merge(ready.moments[si - set_begin][1]);
+              } else {
+                prepared[si].table.merge(ready.tables[si - set_begin]);
+              }
+            }
+            pending.erase(it);
+            ++next_merge;
+          }
+        });
+    SCA_ASSERT(next_merge == num_chunks && pending.empty(),
+               "campaign: chunk merge did not drain");
+    total_cycles += runs_per_group * cycles_per_run;
+    ++table_batches;
   };
 
   // Split the probe sets into batches whose contingency tables fit the
   // memory budget, re-running the simulation per batch (the simulation is
-  // cheap next to table accumulation, and the seed makes passes identical).
+  // cheap next to table accumulation, and the chunk seeds make passes
+  // identical). Each worker holds its own in-flight chunk tables, so the
+  // per-batch share of the budget shrinks with the thread count.
   constexpr std::size_t kBytesPerBin = 64;  // unordered_map node + slack
   const std::size_t samples_total = 2 * runs_per_group * observations_per_run;
+  const std::size_t batch_budget = std::max<std::size_t>(
+      options.table_memory_budget / (std::size_t{threads} + 1), kBytesPerBin);
   {
     std::size_t begin = 0;
     while (begin < prepared.size()) {
@@ -362,8 +445,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
         }
         est_bins = std::min(est_bins, samples_total);
         const std::size_t bytes = est_bins * kBytesPerBin;
-        if (end > begin && budget_used + bytes > options.table_memory_budget)
-          break;
+        if (end > begin && budget_used + bytes > batch_budget) break;
         budget_used += bytes;
         ++end;
       }
@@ -399,6 +481,9 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   result.total_sets = prepared.size();
   result.dropped_sets = dropped;
   result.simulations_per_group = runs_per_group * observations_per_run;
+  result.threads_used = threads;
+  result.total_cycles = total_cycles;
+  result.table_batches = table_batches;
   const double threshold =
       ttest ? stats::kTvlaThreshold : options.threshold;
   for (ProbeSetResult& r : finished) {

@@ -40,6 +40,13 @@ struct CampaignOptions {
 
   std::uint64_t seed = 1;
 
+  /// Worker threads for the sharded simulation (0 = the SCA_THREADS
+  /// environment variable, else hardware concurrency). The campaign is
+  /// bit-identical for every thread count: the run budget is split into
+  /// fixed chunks, chunk c draws from an RNG stream seeded by
+  /// f(seed, c), and per-chunk tables merge in chunk order.
+  unsigned threads = 0;
+
   /// Leakage threshold on -log10(p), PROLEAD's default.
   double threshold = 7.0;
 
@@ -78,7 +85,9 @@ struct CampaignOptions {
 
   /// Approximate memory budget for contingency tables. Large order-2
   /// campaigns are split into probe-set batches, re-running the (cheap,
-  /// seeded) simulation once per batch to stay under the budget.
+  /// seeded) simulation once per batch to stay under the budget. The budget
+  /// covers the master tables plus every worker's in-flight chunk tables,
+  /// so the per-batch share shrinks as the thread count grows.
   std::size_t table_memory_budget = std::size_t{4096} * 1024 * 1024;
 };
 
@@ -105,6 +114,12 @@ struct CampaignResult {
   std::size_t total_sets = 0;
   std::size_t dropped_sets = 0;  ///< sets beyond max_probe_sets
   std::size_t simulations_per_group = 0;
+  unsigned threads_used = 1;     ///< resolved worker-thread count
+  /// Simulated clock cycles over all runs, groups, and table batches — the
+  /// number of settle() passes; gate evaluations = total_cycles x
+  /// combinational gates x 64 lanes. Feeds the perf trajectory.
+  std::size_t total_cycles = 0;
+  std::size_t table_batches = 0;  ///< simulation passes under the memory budget
   ProbeModel model = ProbeModel::kGlitch;
   unsigned order = 1;
   /// All probe-set results, sorted by -log10(p) descending.

@@ -19,7 +19,11 @@ std::string to_string(const CampaignResult& result, std::size_t top_n) {
   std::ostringstream os;
   os << "fixed-vs-random campaign: " << to_string(result.model) << ", order "
      << result.order << ", " << result.simulations_per_group
-     << " simulations/group\n";
+     << " simulations/group, " << result.threads_used
+     << (result.threads_used == 1 ? " thread" : " threads");
+  if (result.table_batches > 1)
+    os << ", " << result.table_batches << " table batches";
+  os << "\n";
   os << "verdict: " << verdict_line(result) << "\n";
   if (result.dropped_sets)
     os << "WARNING: " << result.dropped_sets

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/thread_pool.hpp"
 #include "src/core/campaign.hpp"
 #include "src/gadgets/bus.hpp"
 #include "src/gadgets/kronecker.hpp"
@@ -41,7 +42,10 @@ PlanEvaluation evaluate_kron1_plan(const RandomnessPlan& plan,
 
   PlanEvaluation eval{plan, false, false, 0.0, ""};
   if (options.model == ProbeModel::kGlitch && options.prefer_exact) {
-    const verif::ExactReport report = verif::verify_first_order_glitch(nl);
+    verif::ExactOptions exact_options;
+    exact_options.threads = options.threads;
+    const verif::ExactReport report =
+        verif::verify_first_order_glitch(nl, exact_options);
     eval.exact = true;
     eval.secure = !report.any_leak && !report.any_skipped;
     for (const auto* leak : report.leaking()) {
@@ -58,6 +62,7 @@ PlanEvaluation evaluate_kron1_plan(const RandomnessPlan& plan,
   campaign.simulations = options.simulations;
   campaign.seed = options.seed;
   campaign.threshold = options.threshold;
+  campaign.threads = options.threads;
   // The fixed value must be the zero-value corner: the Kronecker's entire
   // reason to exist, and where the paper's leaks show.
   campaign.fixed_values[0] = 0x00;
@@ -68,29 +73,49 @@ PlanEvaluation evaluate_kron1_plan(const RandomnessPlan& plan,
   return eval;
 }
 
-SearchResult search_r7_reuse(const SearchOptions& options) {
+namespace {
+
+// Evaluates every candidate in parallel, one worker per plan, each
+// evaluation single-threaded (the pool is spent across candidates). Results
+// land in candidate order, so the search outcome is identical for any
+// thread count.
+SearchResult evaluate_candidates(std::vector<RandomnessPlan> candidates,
+                                 const SearchOptions& options) {
+  SearchOptions per_plan = options;
+  per_plan.threads = 1;
   SearchResult result;
+  result.evaluations.reserve(candidates.size());
+  for (const RandomnessPlan& plan : candidates)
+    result.evaluations.push_back(PlanEvaluation{plan, false, false, 0.0, ""});
+  common::parallel_for(candidates.size(), options.threads, [&](std::size_t i) {
+    result.evaluations[i] = evaluate_kron1_plan(candidates[i], per_plan);
+  });
+  return result;
+}
+
+}  // namespace
+
+SearchResult search_r7_reuse(const SearchOptions& options) {
+  std::vector<RandomnessPlan> candidates;
   // r7 fresh (the 7-bit baseline).
-  result.evaluations.push_back(
-      evaluate_kron1_plan(RandomnessPlan::kron1_full_fresh(), options));
+  candidates.push_back(RandomnessPlan::kron1_full_fresh());
   // r7 = r_i for i = 1..6.
   for (unsigned i = 1; i <= 6; ++i) {
     std::vector<gadgets::MaskSlotExpr> slots;
     for (unsigned k = 0; k < 6; ++k)
       slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << k, false});
     slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << (i - 1), false});
-    RandomnessPlan plan("kron1/search-r7-is-r" + std::to_string(i), 6,
-                        std::move(slots));
-    result.evaluations.push_back(evaluate_kron1_plan(plan, options));
+    candidates.emplace_back("kron1/search-r7-is-r" + std::to_string(i), 6,
+                            std::move(slots));
   }
-  return result;
+  return evaluate_candidates(std::move(candidates), options);
 }
 
 SearchResult search_all_partitions(const SearchOptions& options,
                                    std::size_t max_fresh) {
-  SearchResult result;
   // Restricted growth strings over 7 slots enumerate set partitions up to
   // renaming of fresh bits.
+  std::vector<RandomnessPlan> candidates;
   std::vector<unsigned> assignment(7, 0);
   while (true) {
     const unsigned used =
@@ -101,8 +126,7 @@ SearchResult search_all_partitions(const SearchOptions& options,
         slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << a, false});
       std::string name = "kron1/partition-";
       for (unsigned a : assignment) name += static_cast<char>('0' + a);
-      RandomnessPlan plan(name, used, std::move(slots));
-      result.evaluations.push_back(evaluate_kron1_plan(plan, options));
+      candidates.emplace_back(name, used, std::move(slots));
     }
     // Next restricted growth string.
     int i = 6;
@@ -117,7 +141,7 @@ SearchResult search_all_partitions(const SearchOptions& options,
     }
     if (i < 1) break;
   }
-  return result;
+  return evaluate_candidates(std::move(candidates), options);
 }
 
 }  // namespace sca::eval

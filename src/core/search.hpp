@@ -26,6 +26,13 @@ struct SearchOptions {
   std::size_t simulations = 100'000;
   std::uint64_t seed = 1;
   double threshold = 7.0;
+  /// Worker threads (0 = SCA_THREADS env, else hardware concurrency). The
+  /// search_* drivers parallelize *across* candidate plans and evaluate
+  /// each candidate single-threaded (no oversubscription); a standalone
+  /// evaluate_kron1_plan call spends the whole pool inside the one
+  /// evaluation. Results are ordered by candidate index either way, so they
+  /// are identical for any thread count.
+  unsigned threads = 0;
 };
 
 struct PlanEvaluation {

@@ -8,11 +8,9 @@ using netlist::GateKind;
 using netlist::Netlist;
 using netlist::SignalId;
 
-Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
+Schedule::Schedule(const Netlist& nl) : nl_(&nl) {
   nl.validate();
-  values_.assign(nl.size(), 0);
   regs_ = nl.registers();
-  reg_next_.assign(regs_.size(), 0);
   for (SignalId id : nl.topological_order()) {
     switch (nl.kind(id)) {
       case GateKind::kInput:
@@ -24,6 +22,21 @@ Simulator::Simulator(const Netlist& nl) : nl_(&nl) {
         comb_order_.push_back(id);
     }
   }
+}
+
+Simulator::Simulator(const Netlist& nl)
+    : nl_(&nl),
+      owned_schedule_(std::make_shared<const Schedule>(nl)),
+      schedule_(owned_schedule_.get()) {
+  values_.assign(nl.size(), 0);
+  reg_next_.assign(schedule_->registers().size(), 0);
+  reset();
+}
+
+Simulator::Simulator(const Schedule& schedule)
+    : nl_(&schedule.netlist()), schedule_(&schedule) {
+  values_.assign(nl_->size(), 0);
+  reg_next_.assign(schedule_->registers().size(), 0);
   reset();
 }
 
@@ -42,7 +55,7 @@ void Simulator::set_input(SignalId input, std::uint64_t lanes) {
 }
 
 void Simulator::settle() {
-  for (SignalId id : comb_order_) {
+  for (SignalId id : schedule_->comb_order()) {
     const netlist::Gate& g = nl_->gate(id);
     const std::uint64_t a = values_[g.fanin[0]];
     switch (g.kind) {
@@ -83,9 +96,10 @@ void Simulator::settle() {
 }
 
 void Simulator::clock() {
-  for (std::size_t i = 0; i < regs_.size(); ++i)
-    reg_next_[i] = values_[nl_->gate(regs_[i]).fanin[0]];
-  for (std::size_t i = 0; i < regs_.size(); ++i) values_[regs_[i]] = reg_next_[i];
+  const auto& regs = schedule_->registers();
+  for (std::size_t i = 0; i < regs.size(); ++i)
+    reg_next_[i] = values_[nl_->gate(regs[i]).fanin[0]];
+  for (std::size_t i = 0; i < regs.size(); ++i) values_[regs[i]] = reg_next_[i];
 }
 
 std::uint64_t Simulator::value(SignalId signal) const {

@@ -15,17 +15,47 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/netlist/ir.hpp"
 
 namespace sca::sim {
 
+/// The netlist-derived evaluation plan (topological order of combinational
+/// gates, register list). Immutable after construction, so one Schedule can
+/// back any number of concurrently running Simulators — the parallel
+/// campaign builds it once and hands a const reference to every worker.
+class Schedule {
+ public:
+  /// The netlist must be validated and must outlive the schedule.
+  explicit Schedule(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+  const std::vector<netlist::SignalId>& comb_order() const {
+    return comb_order_;
+  }
+  const std::vector<netlist::SignalId>& registers() const { return regs_; }
+
+  /// Combinational gate count — the work of one settle() pass (x 64 lanes).
+  std::size_t comb_gates() const { return comb_order_.size(); }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<netlist::SignalId> comb_order_;
+  std::vector<netlist::SignalId> regs_;
+};
+
 class Simulator {
  public:
   /// Prepares evaluation structures. The netlist must be validated and must
   /// outlive the simulator.
   explicit Simulator(const netlist::Netlist& nl);
+
+  /// Shares a prepared schedule (and its netlist) instead of re-deriving
+  /// it; the schedule must outlive the simulator. This is the cheap
+  /// constructor the per-thread simulators of a parallel campaign use.
+  explicit Simulator(const Schedule& schedule);
 
   /// Clears register state and input values (all lanes 0).
   void reset();
@@ -62,9 +92,9 @@ class Simulator {
 
  private:
   const netlist::Netlist* nl_;
+  std::shared_ptr<const Schedule> owned_schedule_;  // only for the nl ctor
+  const Schedule* schedule_;
   std::vector<std::uint64_t> values_;
-  std::vector<netlist::SignalId> comb_order_;  // combinational gates, topo order
-  std::vector<netlist::SignalId> regs_;
   std::vector<std::uint64_t> reg_next_;
 };
 

@@ -16,10 +16,27 @@ void ContingencyTable::add(std::uint64_t key, int group, std::uint64_t count) {
 }
 
 void ContingencyTable::merge(const ContingencyTable& other) {
-  for (const auto& [key, cnt] : other.counts_) {
-    auto& mine = counts_[key];
-    mine[0] += cnt[0];
-    mine[1] += cnt[1];
+  if (counts_.size() + other.counts_.size() <= bin_limit_) {
+    // Pooling cannot trigger: plain key-wise addition.
+    for (const auto& [key, cnt] : other.counts_) {
+      auto& mine = counts_[key];
+      mine[0] += cnt[0];
+      mine[1] += cnt[1];
+    }
+    return;
+  }
+  // The bin limit may force pooling during this merge. Visit the incoming
+  // keys in sorted order so *which* keys overflow is a pure function of the
+  // accumulated contents — never of hash-map iteration order — keeping
+  // parallel campaigns bit-identical across thread counts.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(other.counts_.size());
+  for (const auto& [key, cnt] : other.counts_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t key : keys) {
+    const auto& cnt = other.counts_.at(key);
+    if (cnt[0]) add(key, 0, cnt[0]);
+    if (cnt[1]) add(key, 1, cnt[1]);
   }
 }
 

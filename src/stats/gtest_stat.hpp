@@ -44,7 +44,12 @@ class ContingencyTable {
   /// Adds `count` observations of `key` to group 0 (fixed) or 1 (random).
   void add(std::uint64_t key, int group, std::uint64_t count = 1);
 
-  /// Merges another table into this one (used to join per-thread tables).
+  /// Merges another table into this one — the reduction step joining the
+  /// per-chunk tables of a parallel campaign. Respects this table's bin
+  /// limit; when pooling could trigger, incoming keys are visited in sorted
+  /// order so the merged contents depend only on the two tables' contents
+  /// (bit-identical joins for any thread count / merge partitioning, as
+  /// long as merges happen in a deterministic order).
   void merge(const ContingencyTable& other);
 
   /// Runs the G-test over the accumulated counts. Bins where both groups

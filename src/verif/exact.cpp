@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "src/common/check.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/netlist/cone.hpp"
 #include "src/verif/unroll.hpp"
 
@@ -332,44 +333,53 @@ ExactReport verify_first_order_glitch(const Netlist& nl,
       it->second = probe;
   }
 
+  // The std::map fixes a deterministic probe order (sorted by observation);
+  // the heavy per-probe analyses then run in parallel into order-indexed
+  // slots, so the report is identical for any thread count.
+  std::vector<const std::pair<const std::vector<SignalId>, SignalId>*> work;
+  work.reserve(unique_observations.size());
+  for (const auto& entry : unique_observations) work.push_back(&entry);
+
   ExactReport report;
   report.probes_total = unique_observations.size();
-  for (const auto& [observation, representative] : unique_observations) {
-    ExactProbeResult result;
-    result.probe = representative;
-    result.name = nl.signal_name(representative);
-    result.observation_bits = observation.size();
+  report.probes.resize(work.size());
+  common::parallel_for(
+      work.size(), options.threads, [&](std::size_t i) {
+        const std::vector<SignalId>& observation = work[i]->first;
+        const SignalId representative = work[i]->second;
+        ExactProbeResult result;
+        result.probe = representative;
+        result.name = nl.signal_name(representative);
+        result.observation_bits = observation.size();
 
-    const Analysis analysis = engine.analyze(observation);
-    result.secret_bits = analysis.secret_var_indices.size();
-    result.free_bits = analysis.vars.size() - result.secret_bits;
-    if (!analysis.feasible) {
-      result.skipped = true;
-      report.any_skipped = true;
-      report.probes.push_back(std::move(result));
-      continue;
-    }
-    if (analysis.secret_var_indices.empty()) {
-      // Observation cannot reach any complete sharing: trivially secure.
-      report.probes.push_back(std::move(result));
-      continue;
-    }
+        const Analysis analysis = engine.analyze(observation);
+        result.secret_bits = analysis.secret_var_indices.size();
+        result.free_bits = analysis.vars.size() - result.secret_bits;
+        if (!analysis.feasible) {
+          result.skipped = true;
+        } else if (!analysis.secret_var_indices.empty()) {
+          // (An observation that cannot reach any complete sharing is
+          // trivially secure and needs no enumeration.)
+          const auto counts = engine.enumerate(analysis);
+          for (std::size_t v = 1; v < counts.size(); ++v) {
+            const double tv = tv_distance(counts[0], counts[v]);
+            if (tv > result.max_tv_distance) {
+              result.max_tv_distance = tv;
+              result.witness_a = 0;
+              result.witness_b = v;
+            }
+          }
+          result.leaks = result.max_tv_distance > 0.0;
+        }
+        report.probes[i] = std::move(result);
+      });
 
-    const auto counts = engine.enumerate(analysis);
-    for (std::size_t v = 1; v < counts.size(); ++v) {
-      const double tv = tv_distance(counts[0], counts[v]);
-      if (tv > result.max_tv_distance) {
-        result.max_tv_distance = tv;
-        result.witness_a = 0;
-        result.witness_b = v;
-      }
-    }
-    result.leaks = result.max_tv_distance > 0.0;
-    if (result.leaks) {
+  for (const ExactProbeResult& p : report.probes) {
+    if (p.skipped) report.any_skipped = true;
+    if (p.leaks) {
       report.any_leak = true;
       ++report.probes_leaking;
     }
-    report.probes.push_back(std::move(result));
   }
   return report;
 }

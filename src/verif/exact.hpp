@@ -32,6 +32,10 @@ struct ExactOptions {
   std::size_t max_observation_bits = 16;
   /// Unroll depth; 0 = sequential_depth(nl) + 1 (the minimum sound value).
   std::size_t cycles = 0;
+  /// Worker threads for the per-probe enumerations (0 = SCA_THREADS env,
+  /// else hardware concurrency). The verdict is exact either way; results
+  /// are reported in the same deterministic order for any thread count.
+  unsigned threads = 0;
 };
 
 struct ExactProbeResult {

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "src/common/bitops.hpp"
 #include "src/common/check.hpp"
 #include "src/common/dynamic_bitset.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
 
 namespace sca::common {
 namespace {
@@ -165,6 +169,75 @@ TEST(DynamicBitset, DistinctSetsUsuallyHashDifferently) {
     hashes.insert(b.hash());
   }
   EXPECT_GT(hashes.size(), 60u);
+}
+
+TEST(ThreadPool, ResolveThreadsNeverZero) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 8, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, MoreWorkersThanItemsCoversEveryIndexOnce) {
+  constexpr std::size_t kItems = 3;
+  std::vector<std::atomic<int>> hits(kItems);
+  parallel_for(kItems, 16, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadIsSequential) {
+  std::vector<std::size_t> order;
+  parallel_for(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  try {
+    parallel_for(64, 4, [&](std::size_t i) {
+      if (i == 17) throw std::runtime_error("worker 17 failed");
+    });
+    FAIL() << "parallel_for should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("worker 17 failed"),
+              std::string::npos);
+  }
+}
+
+TEST(ThreadPool, StatefulVariantBuildsOneStatePerWorker) {
+  std::atomic<int> states_made{0};
+  std::vector<std::atomic<int>> hits(32);
+  parallel_for_stateful(
+      hits.size(), 4,
+      [&] {
+        states_made.fetch_add(1);
+        return 0;
+      },
+      [&](int& scratch, std::size_t i) {
+        ++scratch;
+        hits[i].fetch_add(1);
+      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_GE(states_made.load(), 1);
+  EXPECT_LE(states_made.load(), 4);
+}
+
+TEST(ThreadPool, ChunkSeedsAreDistinctPerChunkAndSeed) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t campaign_seed : {0ull, 1ull, 0xDEADBEEFull})
+    for (std::uint64_t chunk = 0; chunk < 64; ++chunk)
+      seeds.insert(chunk_seed(campaign_seed, chunk));
+  EXPECT_EQ(seeds.size(), 3u * 64u);
+  // Streams seeded from adjacent chunks must not correlate trivially.
+  Xoshiro256 a(chunk_seed(42, 0)), b(chunk_seed(42, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
 }
 
 TEST(Check, RequireThrowsWithMessage) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/common/check.hpp"
 #include "src/core/campaign.hpp"
 #include "src/core/probes.hpp"
@@ -220,6 +222,74 @@ TEST(Campaign, SeedsReproduce) {
   const CampaignResult a = run_fixed_vs_random(nl, opts);
   const CampaignResult b = run_fixed_vs_random(nl, opts);
   EXPECT_EQ(a.max_minus_log10_p, b.max_minus_log10_p);
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  // The contract of the sharded engine: the chunk grid and per-chunk RNG
+  // streams depend only on the workload and seed, never on the thread count,
+  // so every statistic is bit-identical for threads in {1, 2, 8}.
+  Netlist nl = kronecker_netlist(RandomnessPlan::kron1_demeyer_eq6());
+  CampaignOptions opts = kron_options(ProbeModel::kGlitch, 20000);
+  opts.seed = 7;
+
+  opts.threads = 1;
+  const CampaignResult base = run_fixed_vs_random(nl, opts);
+  for (unsigned threads : {2u, 8u}) {
+    opts.threads = threads;
+    const CampaignResult result = run_fixed_vs_random(nl, opts);
+    EXPECT_EQ(result.threads_used, threads);
+    EXPECT_EQ(result.pass, base.pass);
+    EXPECT_EQ(result.max_minus_log10_p, base.max_minus_log10_p)
+        << threads << " threads";
+    ASSERT_EQ(result.results.size(), base.results.size());
+    for (std::size_t i = 0; i < base.results.size(); ++i) {
+      EXPECT_EQ(result.results[i].name, base.results[i].name);
+      EXPECT_EQ(result.results[i].g.g, base.results[i].g.g);
+      EXPECT_EQ(result.results[i].minus_log10_p,
+                base.results[i].minus_log10_p);
+    }
+  }
+}
+
+TEST(Campaign, DeterministicUnderTableBatching) {
+  // Probe-set batching (small table_memory_budget) must compose with
+  // sharding without changing any statistic.
+  Netlist nl = kronecker_netlist(RandomnessPlan::kron1_demeyer_eq6());
+  CampaignOptions opts = kron_options(ProbeModel::kGlitch, 20000);
+  opts.threads = 2;
+  const CampaignResult unbatched = run_fixed_vs_random(nl, opts);
+  opts.table_memory_budget = 4 * 1024;  // forces many batches
+  const CampaignResult batched = run_fixed_vs_random(nl, opts);
+  EXPECT_GT(batched.table_batches, unbatched.table_batches);
+  EXPECT_EQ(batched.max_minus_log10_p, unbatched.max_minus_log10_p);
+  ASSERT_EQ(batched.results.size(), unbatched.results.size());
+  for (std::size_t i = 0; i < unbatched.results.size(); ++i)
+    EXPECT_EQ(batched.results[i].minus_log10_p,
+              unbatched.results[i].minus_log10_p);
+}
+
+TEST(Campaign, TTestDeterministicAcrossThreadCounts) {
+  // Welford moment merging is FP-order-sensitive; the ordered chunk merge
+  // must make the t statistic bit-identical too.
+  Netlist nl = kronecker_netlist(RandomnessPlan::kron1_full_fresh());
+  CampaignOptions opts = kron_options(ProbeModel::kGlitch, 20000);
+  opts.statistic = Statistic::kWelchTTest;
+  opts.threads = 1;
+  const CampaignResult base = run_fixed_vs_random(nl, opts);
+  opts.threads = 8;
+  const CampaignResult wide = run_fixed_vs_random(nl, opts);
+  ASSERT_EQ(wide.results.size(), base.results.size());
+  for (std::size_t i = 0; i < base.results.size(); ++i)
+    EXPECT_EQ(wide.results[i].severity, base.results[i].severity);
+}
+
+TEST(Campaign, ThreadsEnvVariableIsHonored) {
+  Netlist nl = kronecker_netlist(RandomnessPlan::kron1_full_fresh());
+  CampaignOptions opts = kron_options(ProbeModel::kGlitch, 5000);
+  ::setenv("SCA_THREADS", "3", 1);
+  const CampaignResult result = run_fixed_vs_random(nl, opts);
+  ::unsetenv("SCA_THREADS");
+  EXPECT_EQ(result.threads_used, 3u);
 }
 
 TEST(Campaign, SecondOrderFindsPairLeakInvisibleAtFirstOrder) {

@@ -265,6 +265,34 @@ TEST(Exact, SecondOrderKroneckerFullFreshHasNoFirstOrderLeak) {
   EXPECT_FALSE(report.any_leak) << to_string(report);
 }
 
+TEST(Exact, DeterministicAcrossThreadCounts) {
+  // Per-probe enumeration is parallelized; probe order and every per-probe
+  // result must be identical for threads in {1, 2, 8}.
+  Netlist nl;
+  std::vector<Bus> shares = {
+      gadgets::make_input_bus(nl, 8, InputRole::kShare, "b0_", 0, 0),
+      gadgets::make_input_bus(nl, 8, InputRole::kShare, "b1_", 0, 1)};
+  gadgets::build_kronecker(nl, shares, RandomnessPlan::kron1_demeyer_eq6());
+
+  ExactOptions options;
+  options.threads = 1;
+  const ExactReport base = verify_first_order_glitch(nl, options);
+  ASSERT_TRUE(base.any_leak);
+  for (unsigned threads : {2u, 8u}) {
+    options.threads = threads;
+    const ExactReport report = verify_first_order_glitch(nl, options);
+    EXPECT_EQ(report.any_leak, base.any_leak);
+    EXPECT_EQ(report.probes_leaking, base.probes_leaking);
+    ASSERT_EQ(report.probes.size(), base.probes.size());
+    for (std::size_t i = 0; i < base.probes.size(); ++i) {
+      EXPECT_EQ(report.probes[i].name, base.probes[i].name);
+      EXPECT_EQ(report.probes[i].leaks, base.probes[i].leaks);
+      EXPECT_EQ(report.probes[i].max_tv_distance,
+                base.probes[i].max_tv_distance);
+    }
+  }
+}
+
 TEST(Exact, ReportRendering) {
   Netlist nl;
   const SignalId s0 = nl.add_input(InputRole::kShare, "s0", {0, 0, 0});
