@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "bench/bench_util.hpp"
 #include "src/aes/aes128.hpp"
@@ -169,6 +170,10 @@ struct PerfPoint {
   double gate_evals_per_sec = 0.0;
   double speedup = 1.0;
   double max_minus_log10_p = 0.0;
+  // Per-phase CPU seconds summed over workers (see CampaignResult).
+  double simulate_seconds = 0.0;
+  double accumulate_seconds = 0.0;
+  double merge_seconds = 0.0;
 };
 
 PerfPoint run_e2_point(const netlist::Netlist& nl,
@@ -193,13 +198,20 @@ PerfPoint run_e2_point(const netlist::Netlist& nl,
                              static_cast<double>(comb_gates) * 64.0 /
                              point.seconds;
   point.max_minus_log10_p = result.max_minus_log10_p;
+  point.simulate_seconds = result.simulate_seconds;
+  point.accumulate_seconds = result.accumulate_seconds;
+  point.merge_seconds = result.merge_seconds;
   return point;
 }
 
 // The scaling trajectory: the E2 campaign at 1..8 threads, cross-checked
 // for bit-identical statistics, written to BENCH_perf.json.
 int run_perf_trajectory() {
-  const std::size_t sims = benchutil::simulations(20000);
+  // Large enough that a trajectory point runs for seconds, not tens of
+  // milliseconds — thread-pool startup and first-touch costs at the old
+  // 20k-sim workload were comparable to the measured region and made the
+  // multi-thread points noise-dominated.
+  const std::size_t sims = benchutil::simulations(100000);
   netlist::Netlist nl;
   gadgets::MaskedSboxOptions sbox_options;
   sbox_options.kron_plan = gadgets::RandomnessPlan::kron1_demeyer_eq6();
@@ -209,7 +221,8 @@ int run_perf_trajectory() {
   std::printf("perf trajectory: E2 campaign (masked Sbox + Eq.(6)), %zu sims"
               " (SCA_SIMS scales), %zu gates (%zu comb)\n\n",
               sims, nl.size(), comb_gates);
-  std::printf("  threads   seconds     sims/sec    gate-evals/sec   speedup\n");
+  std::printf("  threads   seconds     sims/sec    gate-evals/sec   speedup"
+              "      sim%%    acc%%  merge%%\n");
 
   std::vector<PerfPoint> points;
   bool deterministic = true;
@@ -220,20 +233,35 @@ int run_perf_trajectory() {
       deterministic &=
           p.max_minus_log10_p == points.front().max_minus_log10_p;
     }
-    std::printf("  %7u  %8.2f  %11.0f  %15.3g  %7.2fx\n", p.threads,
-                p.seconds, p.sims_per_sec, p.gate_evals_per_sec, p.speedup);
+    const double phase_total =
+        p.simulate_seconds + p.accumulate_seconds + p.merge_seconds;
+    const double denom = phase_total > 0.0 ? phase_total : 1.0;
+    std::printf("  %7u  %8.2f  %11.0f  %15.3g  %7.2fx   %5.1f   %5.1f   %5.1f\n",
+                p.threads, p.seconds, p.sims_per_sec, p.gate_evals_per_sec,
+                p.speedup, 100.0 * p.simulate_seconds / denom,
+                100.0 * p.accumulate_seconds / denom,
+                100.0 * p.merge_seconds / denom);
     points.push_back(p);
   }
   std::printf("\n  statistics bit-identical across thread counts: %s\n",
               deterministic ? "yes" : "NO — BUG");
 
-  const PerfPoint& best = points.back();
+  // Best observed point, not the widest: on a 1-core container the extra
+  // thread counts only measure oversubscription overhead.
+  const PerfPoint* best_p = &points.front();
+  for (const PerfPoint& p : points)
+    if (p.sims_per_sec > best_p->sims_per_sec) best_p = &p;
+  const PerfPoint& best = *best_p;
   std::ostringstream json;
   json << "{\n  \"bench\": \"perf\",\n";
   json << "  \"workload\": \"e2_sbox_eq6\",\n";
   json << "  \"sims\": " << sims << ",\n";
   json << "  \"gates\": " << nl.size() << ",\n";
   json << "  \"comb_gates\": " << comb_gates << ",\n";
+  // The container's scheduling capacity; speedup beyond it is oversubscription
+  // (historically reported as "negative scaling" — it was a 1-core box).
+  json << "  \"physical_cores\": " << std::thread::hardware_concurrency()
+       << ",\n";
   json << "  \"deterministic\": " << (deterministic ? "true" : "false")
        << ",\n";
   json << "  \"runs\": [\n";
@@ -242,10 +270,15 @@ int run_perf_trajectory() {
     json << "    {\"threads\": " << p.threads << ", \"seconds\": " << p.seconds
          << ", \"sims_per_sec\": " << p.sims_per_sec
          << ", \"gate_evals_per_sec\": " << p.gate_evals_per_sec
-         << ", \"speedup\": " << p.speedup << "}"
+         << ", \"speedup\": " << p.speedup
+         << ", \"simulate_seconds\": " << p.simulate_seconds
+         << ", \"accumulate_seconds\": " << p.accumulate_seconds
+         << ", \"merge_seconds\": " << p.merge_seconds << "}"
          << (i + 1 < points.size() ? "," : "") << "\n";
   }
   json << "  ],\n";
+  json << "  \"single_thread_sims_per_sec\": " << points.front().sims_per_sec
+       << ",\n";
   json << "  \"threads\": " << best.threads << ",\n";
   json << "  \"sims_per_sec\": " << best.sims_per_sec << ",\n";
   json << "  \"gate_evals_per_sec\": " << best.gate_evals_per_sec << ",\n";
@@ -263,9 +296,15 @@ int run_perf_trajectory() {
   line.add("pass", deterministic);
   line.add("seconds", points.front().seconds);
   line.add("threads", best.threads);
+  line.add("physical_cores",
+           static_cast<std::size_t>(std::thread::hardware_concurrency()));
   line.add("sims_per_sec", best.sims_per_sec);
+  line.add("single_thread_sims_per_sec", points.front().sims_per_sec);
   line.add("gate_evals_per_sec", best.gate_evals_per_sec);
   line.add("speedup", best.speedup);
+  line.add("simulate_seconds", points.front().simulate_seconds);
+  line.add("accumulate_seconds", points.front().accumulate_seconds);
+  line.add("merge_seconds", points.front().merge_seconds);
   line.append_to(benchutil::bench_json_path());
   return deterministic ? 0 : 1;
 }

@@ -1,9 +1,17 @@
 // Small bit-manipulation helpers used by the field arithmetic, the netlist
-// simulator and the statistical evaluation engine.
+// simulator and the statistical evaluation engine, plus the bit-sliced
+// primitives behind the campaign's statistics hot path: a Hacker's-Delight
+// 64x64 bit-matrix transpose (64 exact observation keys per call) and a
+// carry-save vertical counter (per-lane Hamming weights of k words in O(k)
+// word operations).
 #pragma once
 
+#include <array>
 #include <bit>
+#include <cstddef>
 #include <cstdint>
+
+#include "src/common/check.hpp"
 
 namespace sca::common {
 
@@ -37,5 +45,122 @@ inline unsigned ctz64(std::uint64_t v) {
 inline std::size_t ceil_div(std::size_t a, std::size_t b) {
   return (a + b - 1) / b;
 }
+
+/// Carry-save adder: one full-adder layer over three 64-lane words. After
+/// the call, per lane, a + b + c == 2 * high + low (bitwise sum and carry).
+inline void csa(std::uint64_t& high, std::uint64_t& low, std::uint64_t a,
+                std::uint64_t b, std::uint64_t c) {
+  const std::uint64_t u = a ^ b;
+  high = (a & b) | (u & c);
+  low = u ^ c;
+}
+
+/// In-place transpose of a 64x64 bit matrix (Hacker's Delight 7-3,
+/// recursive block swap): afterwards bit c of m[r] is the former bit r of
+/// m[c]. Self-inverse. This turns k gathered observation words (row d = the
+/// 64-lane value of observation bit d) into 64 per-lane exact keys (row L =
+/// lane L's observation tuple) in ~6*64 word operations — no per-bit
+/// shifting.
+inline void transpose64(std::uint64_t m[64]) {
+  std::uint64_t mask = 0x00000000FFFFFFFFull;
+  for (unsigned j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      // LSB-first columns (bit i = column i), so the off-diagonal blocks to
+      // swap sit in the HIGH half of m[k] and the LOW half of m[k + j] —
+      // the mirror image of the textbook MSB-first formulation.
+      const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+      m[k] ^= t << j;
+      m[k + j] ^= t;
+    }
+  }
+}
+
+/// Transpose of an 8x8 bit matrix packed row-major into one word (row r =
+/// byte r, i.e. bits [8r, 8r+8)): afterwards bit c of row r is the former
+/// bit r of row c.
+inline std::uint64_t transpose8x8(std::uint64_t x) {
+  std::uint64_t t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAull;
+  x ^= t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCull;
+  x ^= t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ull;
+  x ^= t ^ (t << 28);
+  return x;
+}
+
+/// Spreads 64 per-lane byte values into 8 bit-plane words: bit L of
+/// planes[b] is bit b of bytes[L]. This is the byte->lane-word layout
+/// change the simulator's share inputs need, done as eight 8x8 block
+/// transposes instead of 8x64 single-bit inserts.
+inline void bytes_to_bit_planes(const std::uint8_t bytes[64],
+                                std::uint64_t planes[8]) {
+  for (unsigned b = 0; b < 8; ++b) planes[b] = 0;
+  for (unsigned blk = 0; blk < 8; ++blk) {
+    std::uint64_t x = 0;
+    for (unsigned l = 0; l < 8; ++l)
+      x |= static_cast<std::uint64_t>(bytes[8 * blk + l]) << (8 * l);
+    const std::uint64_t y = transpose8x8(x);
+    for (unsigned b = 0; b < 8; ++b)
+      planes[b] |= ((y >> (8 * b)) & 0xFFu) << (8 * blk);
+  }
+}
+
+/// Bit-sliced vertical counter: 64 independent saturating-free counters,
+/// one per lane, held column-wise (bit L of planes_[j] is bit j of lane L's
+/// count). add(w) increments every lane whose bit is set in w with a
+/// ripple-carry over the planes — amortized O(1) word operations per word
+/// added — so the per-lane Hamming weight of k observation words costs O(k)
+/// word operations total instead of 64*k scalar shifts. Capacity 2^16 - 1
+/// per lane (16 planes), far beyond any probe-set observation width.
+class VerticalCounter {
+ public:
+  static constexpr unsigned kPlanes = 16;
+
+  /// Per-lane increment by the bits of `w`.
+  void add(std::uint64_t w) {
+    std::uint64_t carry = w;
+    for (unsigned j = 0; carry != 0; ++j) {
+      if (j == used_) {
+        SCA_ASSERT(used_ < kPlanes, "VerticalCounter: lane count overflow");
+        planes_[used_++] = carry;  // counter grows a plane; no overflow yet
+        return;
+      }
+      const std::uint64_t t = planes_[j] & carry;
+      planes_[j] ^= carry;
+      carry = t;
+    }
+  }
+
+  /// Count of lane L (sum of the added words' bits L).
+  unsigned lane_count(unsigned lane) const {
+    unsigned v = 0;
+    for (unsigned j = 0; j < used_; ++j)
+      v |= static_cast<unsigned>((planes_[j] >> lane) & 1u) << j;
+    return v;
+  }
+
+  /// Extracts all 64 per-lane counts at once.
+  void lane_counts(std::uint16_t out[64]) const {
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      unsigned v = 0;
+      for (unsigned j = 0; j < used_; ++j)
+        v |= static_cast<unsigned>((planes_[j] >> lane) & 1u) << j;
+      out[lane] = static_cast<std::uint16_t>(v);
+    }
+  }
+
+  /// Resets every lane to zero (O(planes in use)).
+  void clear() {
+    for (unsigned j = 0; j < used_; ++j) planes_[j] = 0;
+    used_ = 0;
+  }
+
+  /// Number of planes currently in use (== bit width of the largest count).
+  unsigned planes_in_use() const { return used_; }
+
+ private:
+  std::array<std::uint64_t, kPlanes> planes_{};
+  unsigned used_ = 0;
+};
 
 }  // namespace sca::common

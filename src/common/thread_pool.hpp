@@ -46,9 +46,14 @@ inline unsigned resolve_threads(unsigned requested = 0) {
 /// resolve_threads(); n == 0 is a no-op; surplus workers beyond n are not
 /// spawned. Determinism is preserved as long as fn's output depends only on
 /// the index, never on the state's history.
-template <typename MakeState, typename Fn>
+/// The full form also takes finalize(state), run once per worker after it
+/// has drained the index space (and skipped when any worker failed — the
+/// exception wins). This is the hook for reductions that are commutative
+/// and so need no per-index ordering: a worker accumulates privately across
+/// all the indices it claimed and folds into the shared result exactly once.
+template <typename MakeState, typename Fn, typename Finalize>
 void parallel_for_stateful(std::size_t n, unsigned threads, MakeState&& make,
-                           Fn&& fn) {
+                           Fn&& fn, Finalize&& finalize) {
   if (n == 0) return;
   threads = resolve_threads(threads);
   if (static_cast<std::size_t>(threads) > n)
@@ -68,11 +73,13 @@ void parallel_for_stateful(std::size_t n, unsigned threads, MakeState&& make,
   auto worker = [&] {
     try {
       auto state = make();
-      while (!failed.load(std::memory_order_acquire)) {
+      while (true) {
+        if (failed.load(std::memory_order_acquire)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        if (i >= n) break;
         fn(state, i);
       }
+      finalize(state);
     } catch (...) {
       fail(std::current_exception());
     }
@@ -88,6 +95,13 @@ void parallel_for_stateful(std::size_t n, unsigned threads, MakeState&& make,
     for (auto& th : pool) th.join();
   }
   if (error) std::rethrow_exception(error);
+}
+
+template <typename MakeState, typename Fn>
+void parallel_for_stateful(std::size_t n, unsigned threads, MakeState&& make,
+                           Fn&& fn) {
+  parallel_for_stateful(n, threads, std::forward<MakeState>(make),
+                        std::forward<Fn>(fn), [](auto&) {});
 }
 
 /// Runs fn(i) for every i in [0, n), distributing indices over up to

@@ -1,7 +1,10 @@
 #include "src/core/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <unordered_map>
@@ -75,7 +78,8 @@ struct PreparedSet {
   std::vector<std::size_t> dense;  // indices into stable_points
   std::size_t observation_bits = 0;
   bool compacted = false;
-  stats::ContingencyTable table;                   // G-test mode
+  bool direct_table = false;  // exact keys small enough to direct-index
+  stats::FlatCountTable table;                     // G-test mode
   std::array<stats::MomentAccumulator, 2> moments;  // t-test mode
 };
 
@@ -102,19 +106,42 @@ struct ObservationHash {
 };
 
 // Accumulators of one work chunk for the probe sets of one batch; merged
-// into the master accumulators in chunk order.
+// into the master accumulators in chunk order. G-test sets use flat count
+// tables (direct-indexed or open-addressed — no per-observation node
+// allocation); t-test sets accumulate an integer Hamming-weight histogram
+// per group, folded into the master moment accumulators as weighted adds.
 struct ChunkAccumulators {
-  std::vector<stats::ContingencyTable> tables;
-  std::vector<std::array<stats::MomentAccumulator, 2>> moments;
+  std::vector<stats::FlatCountTable> tables;
+  std::vector<std::array<std::vector<std::uint64_t>, 2>> hw_hist;
 };
 
-// Per-worker scratch: a private simulator over the shared schedule plus
-// reusable snapshot buffers.
+// Per-worker scratch: a private simulator over the shared schedule,
+// reusable snapshot buffers, bit-sliced accumulation scratch, per-phase
+// timers — and the worker-lifetime direct-indexed tables. Direct tables
+// materialize their whole key space, so merging them is a commutative
+// integer array add: a worker accumulates them across every chunk it runs
+// and folds into the master exactly once (the thread pool's finalize hook),
+// skipping the chunk-ordered reduction without costing determinism.
 struct WorkerCtx {
   explicit WorkerCtx(const sim::Schedule& schedule) : simulator(schedule) {}
   sim::Simulator simulator;
   std::vector<std::uint64_t> prev_snapshot;
+  std::vector<stats::FlatCountTable> direct_tables;
+  double simulate_seconds = 0.0;
+  double accumulate_seconds = 0.0;
 };
+
+// Exact probe sets at or below this observation width use the
+// conjunction-popcount histogram (no transpose, no per-lane work). Must
+// stay below FlatCountTable::kMaxDirectBits so those sets always hit the
+// direct-indexed table mode, where add() order cannot matter.
+constexpr std::size_t kPopcountBits = 5;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 }  // namespace
 
@@ -198,9 +225,24 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
       for (SignalId sig : obs) p.dense.push_back(dense_index.at(sig));
       p.observation_bits = obs.size() * (transitions ? 2 : 1);
       p.compacted = p.observation_bits > exact_limit;
+      p.direct_table = !p.compacted &&
+                       p.observation_bits <= stats::FlatCountTable::kMaxDirectBits;
       p.table.set_bin_limit(options.max_bins_per_set);
+      if (p.direct_table)
+        p.table.init_direct(static_cast<unsigned>(p.observation_bits));
       prepared.push_back(std::move(p));
     }
+  }
+
+  if (std::getenv("SCA_DEBUG_SETS")) {
+    std::map<std::size_t, std::size_t> exact_hist, compact_hist;
+    for (const auto& p : prepared)
+      (p.compacted ? compact_hist : exact_hist)[p.observation_bits]++;
+    std::fprintf(stderr, "sets=%zu exact:", prepared.size());
+    for (auto [b, n] : exact_hist) std::fprintf(stderr, " %zub x%zu", b, n);
+    std::fprintf(stderr, " | compacted:");
+    for (auto [b, n] : compact_hist) std::fprintf(stderr, " %zub x%zu", b, n);
+    std::fprintf(stderr, "\n");
   }
 
   const std::vector<GroupInputs> groups =
@@ -220,10 +262,15 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   const sim::Schedule schedule(nl);
   const unsigned threads = common::resolve_threads(options.threads);
 
-  // Feeds one cycle of inputs into `simulator` from `rng`.
+  // Feeds one cycle of inputs into `simulator` from `rng`. The byte ->
+  // lane-word spread goes through the 8x8 block transpose of
+  // bytes_to_bit_planes (bit L of planes[b] = bit b of lane L's byte)
+  // instead of 64-iteration per-bit loops; the RNG draw order is untouched,
+  // so seeded campaigns are bit-identical to the scalar spread.
   auto feed_cycle = [&](sim::Simulator& simulator, Xoshiro256& rng,
                         bool fixed_group) {
     std::array<std::uint8_t, 64> lane_bytes{};
+    std::array<std::uint64_t, 8> planes{};
     for (const GroupInputs& g : groups) {
       const std::uint8_t mask = g.value_mask;
       std::array<std::uint8_t, 64> secret{};
@@ -239,20 +286,13 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
           lane_bytes[lane] = static_cast<std::uint8_t>(rng.byte() & mask);
           acc[lane] ^= lane_bytes[lane];
         }
-        for (std::uint32_t bit = 0; bit < g.bits; ++bit) {
-          std::uint64_t word = 0;
-          for (unsigned lane = 0; lane < 64; ++lane)
-            word |= static_cast<std::uint64_t>((lane_bytes[lane] >> bit) & 1u)
-                    << lane;
-          simulator.set_input(g.share_bits[sh][bit], word);
-        }
+        common::bytes_to_bit_planes(lane_bytes.data(), planes.data());
+        for (std::uint32_t bit = 0; bit < g.bits; ++bit)
+          simulator.set_input(g.share_bits[sh][bit], planes[bit]);
       }
-      for (std::uint32_t bit = 0; bit < g.bits; ++bit) {
-        std::uint64_t word = 0;
-        for (unsigned lane = 0; lane < 64; ++lane)
-          word |= static_cast<std::uint64_t>((acc[lane] >> bit) & 1u) << lane;
-        simulator.set_input(g.share_bits[num_shares - 1][bit], word);
-      }
+      common::bytes_to_bit_planes(acc.data(), planes.data());
+      for (std::uint32_t bit = 0; bit < g.bits; ++bit)
+        simulator.set_input(g.share_bits[num_shares - 1][bit], planes[bit]);
     }
     for (SignalId r : plain_randoms) simulator.set_input(r, rng.next());
     for (const auto& bus : options.nonzero_random_buses) {
@@ -271,44 +311,171 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
 
   // Accumulates a buffer of samples into chunk-local tables for the probe
   // sets [set_begin, set_end). Set-major for cache locality.
+  //
+  // The bit-sliced path never leaves 64-lane word space until the final
+  // histogram update: per-lane Hamming weights come from a carry-save
+  // vertical counter (O(k) word ops for k observation words), exact keys
+  // from one 64x64 bit-matrix transpose per sample (64 keys at once), and
+  // counts land in flat direct-indexed/open-addressed tables. The scalar
+  // path is the per-bit reference; both feed identical integer counts into
+  // identical downstream operations, so their statistics are bit-identical
+  // (asserted by tests).
+  const bool bitsliced = options.accumulation == Accumulation::kBitSliced;
   auto accumulate = [&](const std::vector<Sample>& buf, std::size_t set_begin,
-                        std::size_t set_end, ChunkAccumulators& acc) {
+                        std::size_t set_end, ChunkAccumulators& acc,
+                        std::vector<stats::FlatCountTable>& direct_tables) {
+    common::VerticalCounter vc_now, vc_prev;
+    std::array<std::uint16_t, 64> hw_now{}, hw_prev{};
+    std::array<std::uint64_t, 64> keys{};
     for (std::size_t si = set_begin; si < set_end; ++si) {
       const PreparedSet& set = prepared[si];
-      stats::ContingencyTable& table = acc.tables[si - set_begin];
-      auto& moments = acc.moments[si - set_begin];
-      for (const Sample& sample : buf) {
-        for (unsigned lane = 0; lane < 64; ++lane) {
-          if (ttest) {
-            // TVLA: Hamming weight of the (extended) observation.
-            unsigned hw = 0;
-            for (std::size_t d : set.dense) {
-              hw += (sample.now[d] >> lane) & 1u;
-              if (transitions) hw += (sample.prev[d] >> lane) & 1u;
-            }
-            moments[static_cast<std::size_t>(sample.group)].add(hw);
-            continue;
-          }
-          std::uint64_t key;
-          if (set.compacted) {
-            // Compact mode: per-cycle Hamming weight of the observation.
-            unsigned hw_now = 0, hw_prev = 0;
-            for (std::size_t d : set.dense) {
-              hw_now += (sample.now[d] >> lane) & 1u;
-              if (transitions) hw_prev += (sample.prev[d] >> lane) & 1u;
-            }
-            key = hw_now * 257u + hw_prev;
-          } else {
-            std::uint64_t obs = 0;
-            std::size_t k = 0;
-            for (std::size_t d : set.dense)
-              obs |= ((sample.now[d] >> lane) & 1u) << k++;
+      const std::size_t k = set.dense.size();
+      if (ttest) {
+        auto& hist = acc.hw_hist[si - set_begin];
+        for (const Sample& sample : buf) {
+          auto& h = hist[static_cast<std::size_t>(sample.group)];
+          if (bitsliced) {
+            // TVLA: per-lane Hamming weight of the (extended) observation,
+            // all 64 lanes per vertical-counter pass.
+            vc_now.clear();
+            for (std::size_t d : set.dense) vc_now.add(sample.now[d]);
             if (transitions)
-              for (std::size_t d : set.dense)
-                obs |= ((sample.prev[d] >> lane) & 1u) << k++;
-            key = obs;
+              for (std::size_t d : set.dense) vc_now.add(sample.prev[d]);
+            vc_now.lane_counts(hw_now.data());
+            for (unsigned lane = 0; lane < 64; ++lane) ++h[hw_now[lane]];
+          } else {
+            for (unsigned lane = 0; lane < 64; ++lane) {
+              unsigned hw = 0;
+              for (std::size_t d : set.dense) {
+                hw += (sample.now[d] >> lane) & 1u;
+                if (transitions) hw += (sample.prev[d] >> lane) & 1u;
+              }
+              ++h[hw];
+            }
           }
-          table.add(key, sample.group);
+        }
+        continue;
+      }
+      stats::FlatCountTable& table = set.direct_table
+                                         ? direct_tables[si - set_begin]
+                                         : acc.tables[si - set_begin];
+      if (!bitsliced) {
+        for (const Sample& sample : buf) {
+          for (unsigned lane = 0; lane < 64; ++lane) {
+            std::uint64_t key;
+            if (set.compacted) {
+              // Compact mode: per-cycle Hamming weight of the observation.
+              unsigned hn = 0, hp = 0;
+              for (std::size_t d : set.dense) {
+                hn += (sample.now[d] >> lane) & 1u;
+                if (transitions) hp += (sample.prev[d] >> lane) & 1u;
+              }
+              key = hn * 257u + hp;
+            } else {
+              std::uint64_t obs = 0;
+              std::size_t b = 0;
+              for (std::size_t d : set.dense)
+                obs |= ((sample.now[d] >> lane) & 1u) << b++;
+              if (transitions)
+                for (std::size_t d : set.dense)
+                  obs |= ((sample.prev[d] >> lane) & 1u) << b++;
+              key = obs;
+            }
+            table.add(key, sample.group);
+          }
+        }
+        continue;
+      }
+      if (set.compacted) {
+        for (const Sample& sample : buf) {
+          vc_now.clear();
+          for (std::size_t d : set.dense) vc_now.add(sample.now[d]);
+          vc_now.lane_counts(hw_now.data());
+          if (transitions) {
+            vc_prev.clear();
+            for (std::size_t d : set.dense) vc_prev.add(sample.prev[d]);
+            vc_prev.lane_counts(hw_prev.data());
+            for (unsigned lane = 0; lane < 64; ++lane)
+              keys[lane] = static_cast<std::uint64_t>(hw_now[lane]) * 257u +
+                           hw_prev[lane];
+          } else {
+            for (unsigned lane = 0; lane < 64; ++lane)
+              keys[lane] = static_cast<std::uint64_t>(hw_now[lane]) * 257u;
+          }
+          table.add_keys64(keys.data(), sample.group);
+        }
+        continue;
+      }
+      if (set.observation_bits <= kPopcountBits) {
+        // Narrow exact sets (the bulk of a first-order campaign): the whole
+        // 2^bits histogram of a 64-lane sample comes from conjunction
+        // popcounts — combos[key] has bit L set iff lane L observed `key` —
+        // with no transpose and no per-lane work at all. Direct tables
+        // guaranteed (kPopcountBits < kMaxDirectBits), so add() order is
+        // irrelevant to the stored integer counts.
+        std::array<std::uint64_t, std::size_t{1} << kPopcountBits> combos;
+        std::uint64_t* const counts = table.direct_data();
+        for (const Sample& sample : buf) {
+          combos[0] = ~std::uint64_t{0};
+          std::size_t n = 1;
+          for (std::size_t i = 0; i < k; ++i) {
+            const std::uint64_t w = sample.now[set.dense[i]];
+            for (std::size_t c = 0; c < n; ++c) {
+              const std::uint64_t m = combos[c];
+              combos[c + n] = m & w;
+              combos[c] = m & ~w;
+            }
+            n <<= 1;
+          }
+          if (transitions) {
+            for (std::size_t i = 0; i < k; ++i) {
+              const std::uint64_t w = sample.prev[set.dense[i]];
+              for (std::size_t c = 0; c < n; ++c) {
+                const std::uint64_t m = combos[c];
+                combos[c + n] = m & w;
+                combos[c] = m & ~w;
+              }
+              n <<= 1;
+            }
+          }
+          std::uint64_t* const group_counts =
+              counts + static_cast<std::size_t>(sample.group);
+          for (std::size_t key = 0; key < n; ++key)
+            group_counts[2 * key] += static_cast<std::uint64_t>(
+                common::popcount64(combos[key]));
+        }
+        continue;
+      }
+      // Wider exact sets: gather the observation words as matrix rows and
+      // transpose; row L then holds lane L's key. Up to 64/bits samples of
+      // the same group pack into one transpose (sample s at bit offset
+      // s*bits), amortizing its fixed cost; add_packed() extracts
+      // sample-major, preserving the scalar reference's insertion order.
+      {
+        const unsigned pack = static_cast<unsigned>(
+            std::size_t{64} / set.observation_bits);
+        std::size_t idx = 0;
+        while (idx < buf.size()) {
+          const int group = buf[idx].group;
+          unsigned packed = 0;
+          while (idx < buf.size() && packed < pack &&
+                 buf[idx].group == group) {
+            const Sample& sample = buf[idx];
+            std::uint64_t* row = keys.data() + packed * set.observation_bits;
+            for (std::size_t i = 0; i < k; ++i)
+              row[i] = sample.now[set.dense[i]];
+            if (transitions)
+              for (std::size_t i = 0; i < k; ++i)
+                row[k + i] = sample.prev[set.dense[i]];
+            ++packed;
+            ++idx;
+          }
+          std::fill(keys.begin() + packed * set.observation_bits, keys.end(),
+                    0);
+          common::transpose64(keys.data());
+          table.add_packed(keys.data(),
+                           static_cast<unsigned>(set.observation_bits), packed,
+                           group);
         }
       }
     }
@@ -339,6 +506,9 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   finished.reserve(prepared.size());
   std::size_t total_cycles = 0;
   std::size_t table_batches = 0;
+  double simulate_seconds = 0.0;
+  double accumulate_seconds = 0.0;
+  double merge_seconds = 0.0;
 
   // One full simulation pass accumulating only the probe sets
   // [set_begin, set_end), sharded over the worker pool. Chunk results merge
@@ -351,12 +521,36 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
     std::size_t next_merge = 0;
 
     common::parallel_for_stateful(
-        num_chunks, threads, [&] { return WorkerCtx(schedule); },
+        num_chunks, threads,
+        [&] {
+          WorkerCtx ctx(schedule);
+          if (!ttest) {
+            // Direct-indexed sets accumulate into worker-lifetime tables
+            // (commutative integer merges need no chunk ordering); only
+            // hashed and compacted sets go through per-chunk tables.
+            ctx.direct_tables.resize(set_end - set_begin);
+            for (std::size_t si = set_begin; si < set_end; ++si)
+              if (prepared[si].direct_table)
+                ctx.direct_tables[si - set_begin].init_direct(
+                    static_cast<unsigned>(prepared[si].observation_bits));
+          }
+          return ctx;
+        },
         [&](WorkerCtx& ctx, std::size_t chunk) {
           Xoshiro256 rng(common::chunk_seed(options.seed, chunk));
           ChunkAccumulators acc;
-          acc.tables.resize(set_end - set_begin);
-          acc.moments.resize(set_end - set_begin);
+          if (ttest) {
+            acc.hw_hist.resize(set_end - set_begin);
+            for (std::size_t si = set_begin; si < set_end; ++si)
+              for (auto& h : acc.hw_hist[si - set_begin])
+                h.assign(prepared[si].observation_bits + 1, 0);
+          } else {
+            // Chunk tables (the non-direct sets' accumulators) carry no bin
+            // limit, mirroring the unlimited per-chunk maps of the scalar
+            // engine: pooling happens only at the deterministic master
+            // merge.
+            acc.tables.resize(set_end - set_begin);
+          }
 
           const std::size_t run_begin = chunk * runs_per_chunk;
           const std::size_t run_end =
@@ -365,6 +559,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
           buf.reserve(2 * samples_per_run);
           for (std::size_t run = run_begin; run < run_end; ++run) {
             buf.clear();
+            const auto sim_start = std::chrono::steady_clock::now();
             // Groups are interleaved so that a bin-limited table fills its
             // key space from both groups evenly; running one group first
             // would push the other group's tail keys into the overflow bin
@@ -372,10 +567,13 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
             for (int group = 0; group < 2; ++group) {
               sim::Simulator& simulator = ctx.simulator;
               simulator.reset();
+              // The previous-cycle snapshot only feeds transition models;
+              // skipping it elsewhere saves a full stable-point copy per
+              // cycle.
               for (std::size_t c = 0; c < options.warmup_cycles; ++c) {
                 feed_cycle(simulator, rng, group == 0);
                 simulator.settle();
-                snapshot_stable(simulator, ctx.prev_snapshot);
+                if (transitions) snapshot_stable(simulator, ctx.prev_snapshot);
                 simulator.clock();
               }
               for (std::size_t s = 0; s < samples_per_run; ++s) {
@@ -389,30 +587,63 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
                     if (transitions) sample.prev = ctx.prev_snapshot;
                     buf.push_back(std::move(sample));
                   }
-                  snapshot_stable(simulator, ctx.prev_snapshot);
+                  if (transitions)
+                    snapshot_stable(simulator, ctx.prev_snapshot);
                   simulator.clock();
                 }
               }
             }
-            accumulate(buf, set_begin, set_end, acc);
+            const auto acc_start = std::chrono::steady_clock::now();
+            ctx.simulate_seconds +=
+                std::chrono::duration<double>(acc_start - sim_start).count();
+            accumulate(buf, set_begin, set_end, acc, ctx.direct_tables);
+            ctx.accumulate_seconds += seconds_since(acc_start);
           }
 
           std::lock_guard<std::mutex> lock(merge_mutex);
+          const auto merge_start = std::chrono::steady_clock::now();
           pending.emplace(chunk, std::move(acc));
           for (auto it = pending.find(next_merge); it != pending.end();
                it = pending.find(next_merge)) {
             const ChunkAccumulators& ready = it->second;
             for (std::size_t si = set_begin; si < set_end; ++si) {
               if (ttest) {
-                prepared[si].moments[0].merge(ready.moments[si - set_begin][0]);
-                prepared[si].moments[1].merge(ready.moments[si - set_begin][1]);
-              } else {
+                // Histogram counts fold into the master Welford state as
+                // weighted adds in ascending-weight order — a fixed
+                // per-chunk FP operation sequence, so the t statistic is
+                // bit-identical for any thread count and identical between
+                // the bit-sliced and scalar paths.
+                const auto& hist = ready.hw_hist[si - set_begin];
+                for (int group = 0; group < 2; ++group) {
+                  auto& m = prepared[si].moments[static_cast<std::size_t>(group)];
+                  const auto& h = hist[static_cast<std::size_t>(group)];
+                  for (std::size_t hw = 0; hw < h.size(); ++hw)
+                    if (h[hw]) m.add_weighted(static_cast<double>(hw), h[hw]);
+                }
+              } else if (!prepared[si].direct_table) {
                 prepared[si].table.merge(ready.tables[si - set_begin]);
               }
             }
             pending.erase(it);
             ++next_merge;
           }
+          merge_seconds += seconds_since(merge_start);
+        },
+        [&](WorkerCtx& ctx) {
+          // Worker drained: fold its lifetime state into the master under
+          // the merge lock — the commutative direct-table reduction (one
+          // flat array add per table, any worker order) and the phase
+          // timers.
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          simulate_seconds += ctx.simulate_seconds;
+          accumulate_seconds += ctx.accumulate_seconds;
+          const auto merge_start = std::chrono::steady_clock::now();
+          if (!ttest) {
+            for (std::size_t si = set_begin; si < set_end; ++si)
+              if (prepared[si].direct_table)
+                prepared[si].table.merge(ctx.direct_tables[si - set_begin]);
+          }
+          merge_seconds += seconds_since(merge_start);
         });
     SCA_ASSERT(next_merge == num_chunks && pending.empty(),
                "campaign: chunk merge did not drain");
@@ -425,7 +656,10 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   // cheap next to table accumulation, and the chunk seeds make passes
   // identical). Each worker holds its own in-flight chunk tables, so the
   // per-batch share of the budget shrinks with the thread count.
-  constexpr std::size_t kBytesPerBin = 64;  // unordered_map node + slack
+  // Master and chunk tables are both flat (two 64-bit counts per direct
+  // slot, ~3 words per hashed slot at half load). 64 bytes/bin covers the
+  // master plus one in-flight flat chunk table.
+  constexpr std::size_t kBytesPerBin = 64;
   const std::size_t samples_total = 2 * runs_per_group * observations_per_run;
   const std::size_t batch_budget = std::max<std::size_t>(
       options.table_memory_budget / (std::size_t{threads} + 1), kBytesPerBin);
@@ -444,7 +678,10 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
               est_bins, std::size_t{1} << set.observation_bits);
         }
         est_bins = std::min(est_bins, samples_total);
-        const std::size_t bytes = est_bins * kBytesPerBin;
+        std::size_t bytes = est_bins * kBytesPerBin;
+        if (set.direct_table)  // master + chunk table materialize the space
+          bytes = std::max<std::size_t>(
+              bytes, std::size_t{32} << set.observation_bits);
         if (end > begin && budget_used + bytes > batch_budget) break;
         budget_used += bytes;
         ++end;
@@ -463,7 +700,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
           r.severity = std::abs(r.t.t);
         } else {
           r.g = prepared[i].table.g_test();
-          prepared[i].table = stats::ContingencyTable();
+          prepared[i].table = stats::FlatCountTable();
           r.severity = r.g.minus_log10_p;
         }
         r.minus_log10_p = r.severity;
@@ -484,6 +721,9 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   result.threads_used = threads;
   result.total_cycles = total_cycles;
   result.table_batches = table_batches;
+  result.simulate_seconds = simulate_seconds;
+  result.accumulate_seconds = accumulate_seconds;
+  result.merge_seconds = merge_seconds;
   const double threshold =
       ttest ? stats::kTvlaThreshold : options.threshold;
   for (ProbeSetResult& r : finished) {

@@ -30,10 +30,24 @@ enum class Statistic {
                 ///< (first order only; threshold |t| > 4.5)
 };
 
+/// How per-sample observations turn into statistics.
+enum class Accumulation {
+  /// 64-lane word-space hot path: carry-save vertical popcounts for
+  /// Hamming-weight observations, one 64x64 bit-matrix transpose per sample
+  /// for exact keys, flat (open-addressed / direct-indexed) count tables.
+  kBitSliced,
+  /// Reference path: per-lane bit extraction with scalar shifts. Produces
+  /// bin-for-bin identical counts and bit-identical statistics — kept as
+  /// the equivalence oracle for the bit-sliced path (and exercised by
+  /// tests), not for production use.
+  kScalar,
+};
+
 struct CampaignOptions {
   ProbeModel model = ProbeModel::kGlitch;
   unsigned order = 1;
   Statistic statistic = Statistic::kGTest;
+  Accumulation accumulation = Accumulation::kBitSliced;
 
   /// Observations collected per group (the paper's "number of simulations").
   std::size_t simulations = 200'000;
@@ -120,6 +134,13 @@ struct CampaignResult {
   /// combinational gates x 64 lanes. Feeds the perf trajectory.
   std::size_t total_cycles = 0;
   std::size_t table_batches = 0;  ///< simulation passes under the memory budget
+  /// Per-phase CPU time summed over all workers and batches: simulation
+  /// (input feeding, settle, snapshot), statistics accumulation, and the
+  /// ordered chunk merge. On one thread these add up to ~wall time; with N
+  /// workers they can exceed it (they are CPU seconds, not wall seconds).
+  double simulate_seconds = 0.0;
+  double accumulate_seconds = 0.0;
+  double merge_seconds = 0.0;
   ProbeModel model = ProbeModel::kGlitch;
   unsigned order = 1;
   /// All probe-set results, sorted by -log10(p) descending.

@@ -1,6 +1,7 @@
 #include "src/stats/gtest_stat.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "src/common/check.hpp"
@@ -38,6 +39,66 @@ void ContingencyTable::merge(const ContingencyTable& other) {
     if (cnt[0]) add(key, 0, cnt[0]);
     if (cnt[1]) add(key, 1, cnt[1]);
   }
+}
+
+void ContingencyTable::merge(const FlatCountTable& other) {
+  const std::size_t incoming = other.bin_count();
+  if (incoming == 0) return;
+  if (counts_.size() + incoming <= bin_limit_) {
+    // Pooling cannot trigger: plain key-wise addition, any visit order.
+    if (other.direct_bits_ >= 0) {
+      const std::size_t space = std::size_t{1} << other.direct_bits_;
+      for (std::size_t key = 0; key < space; ++key) {
+        const std::uint64_t c0 = other.direct_counts_[2 * key];
+        const std::uint64_t c1 = other.direct_counts_[2 * key + 1];
+        if (c0 == 0 && c1 == 0) continue;
+        auto& mine = counts_[key];
+        mine[0] += c0;
+        mine[1] += c1;
+      }
+    } else {
+      for (std::size_t slot = 0; slot < other.keys_.size(); ++slot) {
+        if (other.keys_[slot] == FlatCountTable::kEmptySlot) continue;
+        auto& mine = counts_[other.keys_[slot]];
+        mine[0] += other.counts_[2 * slot];
+        mine[1] += other.counts_[2 * slot + 1];
+      }
+    }
+    if (other.overflow_used_) {
+      auto& mine = counts_[FlatCountTable::kOverflowKey];
+      mine[0] += other.overflow_[0];
+      mine[1] += other.overflow_[1];
+    }
+    return;
+  }
+  // The bin limit may force pooling: ascending key order, exactly like
+  // merge(const ContingencyTable&). Direct mode is ascending by layout; the
+  // overflow bin (kOverflowKey == ~0) always sorts last.
+  auto add_pair = [&](std::uint64_t key, std::uint64_t c0, std::uint64_t c1) {
+    if (c0) add(key, 0, c0);
+    if (c1) add(key, 1, c1);
+  };
+  if (other.direct_bits_ >= 0) {
+    const std::size_t space = std::size_t{1} << other.direct_bits_;
+    for (std::size_t key = 0; key < space; ++key)
+      add_pair(key, other.direct_counts_[2 * key],
+               other.direct_counts_[2 * key + 1]);
+  } else {
+    std::vector<std::size_t> slots;
+    slots.reserve(other.used_slots_);
+    for (std::size_t slot = 0; slot < other.keys_.size(); ++slot)
+      if (other.keys_[slot] != FlatCountTable::kEmptySlot) slots.push_back(slot);
+    std::sort(slots.begin(), slots.end(),
+              [&](std::size_t a, std::size_t b) {
+                return other.keys_[a] < other.keys_[b];
+              });
+    for (std::size_t slot : slots)
+      add_pair(other.keys_[slot], other.counts_[2 * slot],
+               other.counts_[2 * slot + 1]);
+  }
+  if (other.overflow_used_)
+    add_pair(FlatCountTable::kOverflowKey, other.overflow_[0],
+             other.overflow_[1]);
 }
 
 std::uint64_t ContingencyTable::group_total(int group) const {
@@ -135,6 +196,288 @@ GTestResult ContingencyTable::g_test(double min_expected) const {
   cols.reserve(counts_.size());
   for (const auto& [key, cnt] : counts_) cols.push_back(cnt);
   return g_test_on_columns(std::move(cols), min_expected);
+}
+
+// --- FlatCountTable -----------------------------------------------------------
+
+void FlatCountTable::init_direct(unsigned key_bits) {
+  SCA_ASSERT(direct_bits_ < 0 && used_slots_ == 0 && !overflow_used_,
+             "FlatCountTable: init_direct on a non-empty table");
+  SCA_ASSERT(key_bits <= 30, "FlatCountTable: direct key space too large");
+  SCA_ASSERT((std::size_t{1} << key_bits) <= bin_limit_,
+             "FlatCountTable: direct key space exceeds the bin limit");
+  direct_bits_ = static_cast<int>(key_bits);
+  direct_counts_.assign(std::size_t{2} << key_bits, 0);
+}
+
+void FlatCountTable::set_bin_limit(std::size_t limit) {
+  SCA_ASSERT(direct_bits_ < 0 ||
+                 (std::size_t{1} << direct_bits_) <= limit,
+             "FlatCountTable: bin limit below the direct key space");
+  bin_limit_ = limit;
+}
+
+void FlatCountTable::reserve(std::size_t expected_keys) {
+  if (direct_bits_ >= 0) return;
+  std::size_t cap = 64;
+  while (cap < 2 * expected_keys) cap <<= 1;
+  if (cap <= keys_.size()) return;
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<std::uint64_t> old_counts = std::move(counts_);
+  keys_.assign(cap, kEmptySlot);
+  counts_.assign(2 * cap, 0);
+  capacity_mask_ = cap - 1;
+  hash_shift_ = 64 - static_cast<unsigned>(std::countr_zero(cap));
+  for (std::size_t slot = 0; slot < old_keys.size(); ++slot) {
+    if (old_keys[slot] == kEmptySlot) continue;
+    const std::size_t dst = find_slot(old_keys[slot]);
+    keys_[dst] = old_keys[slot];
+    counts_[2 * dst] = old_counts[2 * slot];
+    counts_[2 * dst + 1] = old_counts[2 * slot + 1];
+  }
+}
+
+std::size_t FlatCountTable::find_slot(std::uint64_t key) const {
+  std::size_t slot =
+      static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> hash_shift_);
+  while (keys_[slot] != kEmptySlot && keys_[slot] != key)
+    slot = (slot + 1) & capacity_mask_;
+  return slot;
+}
+
+void FlatCountTable::grow() {
+  const std::size_t cap = keys_.empty() ? 64 : 2 * keys_.size();
+  std::vector<std::uint64_t> old_keys = std::move(keys_);
+  std::vector<std::uint64_t> old_counts = std::move(counts_);
+  keys_.assign(cap, kEmptySlot);
+  counts_.assign(2 * cap, 0);
+  capacity_mask_ = cap - 1;
+  hash_shift_ = 64 - static_cast<unsigned>(std::countr_zero(cap));
+  for (std::size_t slot = 0; slot < old_keys.size(); ++slot) {
+    if (old_keys[slot] == kEmptySlot) continue;
+    const std::size_t dst = find_slot(old_keys[slot]);
+    keys_[dst] = old_keys[slot];
+    counts_[2 * dst] = old_counts[2 * slot];
+    counts_[2 * dst + 1] = old_counts[2 * slot + 1];
+  }
+}
+
+void FlatCountTable::add_hashed(std::uint64_t key, int group,
+                                std::uint64_t count) {
+  if (2 * (used_slots_ + 1) > keys_.size()) grow();
+  const std::size_t slot = find_slot(key);
+  if (keys_[slot] == kEmptySlot) {
+    // New key: pool it once the bin limit is reached (the overflow bin
+    // itself counts as one tracked bin, mirroring ContingencyTable).
+    if (used_slots_ + (overflow_used_ ? 1 : 0) >= bin_limit_) {
+      overflow_used_ = true;
+      overflow_[static_cast<std::size_t>(group)] += count;
+      return;
+    }
+    keys_[slot] = key;
+    ++used_slots_;
+  }
+  counts_[2 * slot + static_cast<std::size_t>(group)] += count;
+}
+
+void FlatCountTable::add(std::uint64_t key, int group, std::uint64_t count) {
+  SCA_ASSERT(group == 0 || group == 1, "FlatCountTable: group must be 0/1");
+  if (direct_bits_ >= 0) {
+    SCA_ASSERT(key < (std::uint64_t{1} << direct_bits_),
+               "FlatCountTable: key outside the direct key space");
+    direct_counts_[2 * static_cast<std::size_t>(key) +
+                   static_cast<std::size_t>(group)] += count;
+    return;
+  }
+  if (key == kOverflowKey) {
+    // Routed to the dedicated overflow bin (also frees ~0 to act as the
+    // empty-slot sentinel).
+    overflow_used_ = true;
+    overflow_[static_cast<std::size_t>(group)] += count;
+    return;
+  }
+  add_hashed(key, group, count);
+}
+
+void FlatCountTable::add_keys64(const std::uint64_t keys[64], int group) {
+  if (direct_bits_ >= 0) {
+    std::uint64_t* counts = direct_counts_.data() + group;
+    for (unsigned lane = 0; lane < 64; ++lane)
+      counts[2 * static_cast<std::size_t>(keys[lane])] += 1;
+    return;
+  }
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    const std::uint64_t key = keys[lane];
+    if (key == kOverflowKey) {
+      overflow_used_ = true;
+      overflow_[static_cast<std::size_t>(group)] += 1;
+    } else {
+      add_hashed(key, group, 1);
+    }
+  }
+}
+
+void FlatCountTable::add_packed(const std::uint64_t rows[64],
+                                unsigned key_bits, unsigned samples,
+                                int group) {
+  SCA_ASSERT(key_bits > 0 && samples >= 1 &&
+                 static_cast<std::size_t>(key_bits) * samples <= 64,
+             "FlatCountTable: packed samples exceed the 64-bit rows");
+  const std::uint64_t mask =
+      key_bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << key_bits) - 1;
+  if (direct_bits_ >= 0) {
+    SCA_ASSERT(key_bits <= static_cast<unsigned>(direct_bits_),
+               "FlatCountTable: packed keys outside the direct key space");
+    std::uint64_t* counts = direct_counts_.data() + group;
+    for (unsigned s = 0; s < samples; ++s) {
+      const unsigned shift = s * key_bits;
+      for (unsigned lane = 0; lane < 64; ++lane)
+        counts[2 * static_cast<std::size_t>((rows[lane] >> shift) & mask)] += 1;
+    }
+    return;
+  }
+  for (unsigned s = 0; s < samples; ++s) {
+    const unsigned shift = s * key_bits;
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      const std::uint64_t key = (rows[lane] >> shift) & mask;
+      if (key == kOverflowKey) {  // only reachable for key_bits == 64
+        overflow_used_ = true;
+        overflow_[static_cast<std::size_t>(group)] += 1;
+      } else {
+        add_hashed(key, group, 1);
+      }
+    }
+  }
+}
+
+void FlatCountTable::merge(const FlatCountTable& other) {
+  if (direct_bits_ >= 0 && other.direct_bits_ == direct_bits_) {
+    // Same materialized key space: one flat integer array add.
+    for (std::size_t i = 0; i < direct_counts_.size(); ++i)
+      direct_counts_[i] += other.direct_counts_[i];
+  } else if (other.direct_bits_ >= 0) {
+    const std::size_t space = std::size_t{1} << other.direct_bits_;
+    for (std::size_t key = 0; key < space; ++key) {
+      const std::uint64_t c0 = other.direct_counts_[2 * key];
+      const std::uint64_t c1 = other.direct_counts_[2 * key + 1];
+      if (c0) add(key, 0, c0);
+      if (c1) add(key, 1, c1);
+    }
+  } else {
+    const std::size_t incoming =
+        other.used_slots_ + (other.overflow_used_ ? 1 : 0);
+    if (direct_bits_ >= 0 || bin_count() + incoming <= bin_limit_) {
+      // Pooling cannot trigger: any visit order lands the same counts, so
+      // take the slots as they come.
+      for (std::size_t slot = 0; slot < other.keys_.size(); ++slot) {
+        if (other.keys_[slot] == kEmptySlot) continue;
+        if (other.counts_[2 * slot])
+          add(other.keys_[slot], 0, other.counts_[2 * slot]);
+        if (other.counts_[2 * slot + 1])
+          add(other.keys_[slot], 1, other.counts_[2 * slot + 1]);
+      }
+    } else {
+      // Pooling may trigger: sorted keys keep the merged contents a
+      // function of the two tables' contents alone.
+      for (std::uint64_t key : other.sorted_keys()) {
+        if (key == kOverflowKey) continue;  // folded below
+        const auto cnt = other.counts_for(key);
+        if (cnt[0]) add(key, 0, cnt[0]);
+        if (cnt[1]) add(key, 1, cnt[1]);
+      }
+    }
+  }
+  if (other.overflow_used_) {
+    overflow_used_ = true;
+    overflow_[0] += other.overflow_[0];
+    overflow_[1] += other.overflow_[1];
+  }
+}
+
+GTestResult FlatCountTable::g_test(double min_expected) const {
+  std::vector<std::array<std::uint64_t, 2>> cols;
+  if (direct_bits_ >= 0) {
+    const std::size_t space = std::size_t{1} << direct_bits_;
+    for (std::size_t key = 0; key < space; ++key)
+      if (direct_counts_[2 * key] || direct_counts_[2 * key + 1])
+        cols.push_back({direct_counts_[2 * key], direct_counts_[2 * key + 1]});
+  } else {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(used_slots_);
+    for (std::size_t slot = 0; slot < keys_.size(); ++slot)
+      if (keys_[slot] != kEmptySlot) keys.push_back(keys_[slot]);
+    std::sort(keys.begin(), keys.end());
+    cols.reserve(keys.size() + 1);
+    for (std::uint64_t key : keys) cols.push_back(counts_for(key));
+  }
+  if (overflow_used_) cols.push_back(overflow_);
+  return g_test_on_columns(std::move(cols), min_expected);
+}
+
+std::size_t FlatCountTable::bin_count() const {
+  if (direct_bits_ >= 0) {
+    std::size_t bins = overflow_used_ ? 1 : 0;
+    const std::size_t space = std::size_t{1} << direct_bits_;
+    for (std::size_t key = 0; key < space; ++key)
+      if (direct_counts_[2 * key] || direct_counts_[2 * key + 1]) ++bins;
+    return bins;
+  }
+  return used_slots_ + (overflow_used_ ? 1 : 0);
+}
+
+std::array<std::uint64_t, 2> FlatCountTable::counts_for(
+    std::uint64_t key) const {
+  if (key == kOverflowKey) return overflow_;
+  if (direct_bits_ >= 0) {
+    if (key >= (std::uint64_t{1} << direct_bits_)) return {0, 0};
+    return {direct_counts_[2 * static_cast<std::size_t>(key)],
+            direct_counts_[2 * static_cast<std::size_t>(key) + 1]};
+  }
+  if (keys_.empty()) return {0, 0};
+  const std::size_t slot = find_slot(key);
+  if (keys_[slot] == kEmptySlot) return {0, 0};
+  return {counts_[2 * slot], counts_[2 * slot + 1]};
+}
+
+std::vector<std::uint64_t> FlatCountTable::sorted_keys() const {
+  std::vector<std::uint64_t> keys;
+  if (direct_bits_ >= 0) {
+    const std::size_t space = std::size_t{1} << direct_bits_;
+    for (std::size_t key = 0; key < space; ++key)
+      if (direct_counts_[2 * key] || direct_counts_[2 * key + 1])
+        keys.push_back(key);
+  } else {
+    keys.reserve(used_slots_);
+    for (std::size_t slot = 0; slot < keys_.size(); ++slot)
+      if (keys_[slot] != kEmptySlot) keys.push_back(keys_[slot]);
+    std::sort(keys.begin(), keys.end());
+  }
+  if (overflow_used_) keys.push_back(kOverflowKey);
+  return keys;
+}
+
+std::uint64_t FlatCountTable::group_total(int group) const {
+  SCA_ASSERT(group == 0 || group == 1, "FlatCountTable: group must be 0/1");
+  std::uint64_t total = overflow_[static_cast<std::size_t>(group)];
+  if (direct_bits_ >= 0) {
+    const std::size_t space = std::size_t{1} << direct_bits_;
+    for (std::size_t key = 0; key < space; ++key)
+      total += direct_counts_[2 * key + static_cast<std::size_t>(group)];
+  } else {
+    for (std::size_t slot = 0; slot < keys_.size(); ++slot)
+      if (keys_[slot] != kEmptySlot)
+        total += counts_[2 * slot + static_cast<std::size_t>(group)];
+  }
+  return total;
+}
+
+void FlatCountTable::clear() {
+  std::fill(direct_counts_.begin(), direct_counts_.end(), 0);
+  std::fill(keys_.begin(), keys_.end(), kEmptySlot);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  used_slots_ = 0;
+  overflow_ = {0, 0};
+  overflow_used_ = false;
 }
 
 GTestResult g_test_two_rows(const std::vector<std::uint64_t>& row_fixed,

@@ -11,6 +11,23 @@ void MomentAccumulator::add(double sample) {
   m2_ += delta * (sample - mean_);
 }
 
+void MomentAccumulator::add_weighted(double sample, std::uint64_t count) {
+  if (count == 0) return;
+  if (n_ == 0) {
+    // A run of equal samples has mean == sample and M2 == 0 exactly.
+    n_ = count;
+    mean_ = sample;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = sample - mean_;
+  const double total = static_cast<double>(n_ + count);
+  m2_ += delta * delta * static_cast<double>(n_) *
+         static_cast<double>(count) / total;
+  mean_ += delta * static_cast<double>(count) / total;
+  n_ += count;
+}
+
 void MomentAccumulator::merge(const MomentAccumulator& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {

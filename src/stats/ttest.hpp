@@ -16,6 +16,16 @@ namespace sca::stats {
 class MomentAccumulator {
  public:
   void add(double sample);
+
+  /// Adds `count` identical samples in one step — the histogram path of the
+  /// bit-sliced campaign (per-chunk Hamming-weight counts instead of 64
+  /// scalar adds per sample). Exactly equivalent to merging an accumulator
+  /// holding `count` copies of `sample` (whose mean is `sample` and whose
+  /// M2 is 0, both exactly), so it is bit-identical to add() called `count`
+  /// times in a row on a fresh accumulator, and deterministic for any
+  /// (histogram-ordered) call sequence.
+  void add_weighted(double sample, std::uint64_t count);
+
   void merge(const MomentAccumulator& other);
 
   std::uint64_t count() const { return n_; }

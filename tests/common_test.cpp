@@ -240,6 +240,140 @@ TEST(ThreadPool, ChunkSeedsAreDistinctPerChunkAndSeed) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Bitops, CsaIsAFullAdderPerLane) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t a = rng.next(), b = rng.next(), c = rng.next();
+    std::uint64_t high = 0, low = 0;
+    csa(high, low, a, b, c);
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      const unsigned sum = static_cast<unsigned>((a >> lane) & 1) +
+                           static_cast<unsigned>((b >> lane) & 1) +
+                           static_cast<unsigned>((c >> lane) & 1);
+      EXPECT_EQ(2 * ((high >> lane) & 1) + ((low >> lane) & 1), sum);
+    }
+  }
+}
+
+TEST(Bitops, Transpose64MatchesNaive) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::uint64_t m[64], original[64];
+    for (auto& row : m) row = rng.next();
+    std::copy(std::begin(m), std::end(m), std::begin(original));
+    transpose64(m);
+    for (unsigned r = 0; r < 64; ++r)
+      for (unsigned c = 0; c < 64; ++c)
+        ASSERT_EQ((m[r] >> c) & 1, (original[c] >> r) & 1)
+            << "element (" << r << ", " << c << ")";
+  }
+}
+
+TEST(Bitops, Transpose64IsSelfInverse) {
+  Xoshiro256 rng(13);
+  std::uint64_t m[64], original[64];
+  for (auto& row : m) row = rng.next();
+  std::copy(std::begin(m), std::end(m), std::begin(original));
+  transpose64(m);
+  transpose64(m);
+  for (unsigned r = 0; r < 64; ++r) EXPECT_EQ(m[r], original[r]);
+}
+
+TEST(Bitops, Transpose8x8MatchesNaive) {
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t x = rng.next();
+    const std::uint64_t y = transpose8x8(x);
+    for (unsigned r = 0; r < 8; ++r)
+      for (unsigned c = 0; c < 8; ++c)
+        ASSERT_EQ((y >> (8 * r + c)) & 1, (x >> (8 * c + r)) & 1);
+    EXPECT_EQ(transpose8x8(y), x);
+  }
+}
+
+TEST(Bitops, BytesToBitPlanesMatchesPerBitSpread) {
+  Xoshiro256 rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::uint8_t bytes[64];
+    for (auto& b : bytes) b = rng.byte();
+    std::uint64_t planes[8];
+    bytes_to_bit_planes(bytes, planes);
+    for (unsigned b = 0; b < 8; ++b) {
+      std::uint64_t expected = 0;
+      for (unsigned lane = 0; lane < 64; ++lane)
+        expected |= static_cast<std::uint64_t>((bytes[lane] >> b) & 1) << lane;
+      ASSERT_EQ(planes[b], expected) << "plane " << b;
+    }
+  }
+}
+
+TEST(VerticalCounter, MatchesNaivePerLanePopcount) {
+  Xoshiro256 rng(23);
+  for (unsigned words : {0u, 1u, 3u, 17u, 64u, 200u}) {
+    VerticalCounter vc;
+    std::array<unsigned, 64> expected{};
+    for (unsigned w = 0; w < words; ++w) {
+      const std::uint64_t v = rng.next();
+      vc.add(v);
+      for (unsigned lane = 0; lane < 64; ++lane)
+        expected[lane] += static_cast<unsigned>((v >> lane) & 1);
+    }
+    std::array<std::uint16_t, 64> got{};
+    vc.lane_counts(got.data());
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      ASSERT_EQ(got[lane], expected[lane]) << "lane " << lane;
+      ASSERT_EQ(vc.lane_count(lane), expected[lane]);
+    }
+  }
+}
+
+TEST(VerticalCounter, ClearResetsAndReuses) {
+  VerticalCounter vc;
+  vc.add(~std::uint64_t{0});
+  vc.add(~std::uint64_t{0});
+  EXPECT_EQ(vc.lane_count(0), 2u);
+  vc.clear();
+  EXPECT_EQ(vc.planes_in_use(), 0u);
+  EXPECT_EQ(vc.lane_count(63), 0u);
+  vc.add(1);
+  EXPECT_EQ(vc.lane_count(0), 1u);
+  EXPECT_EQ(vc.lane_count(1), 0u);
+}
+
+TEST(ThreadPool, FinalizeRunsOncePerWorker) {
+  std::atomic<int> states_made{0};
+  std::atomic<int> finalized{0};
+  std::atomic<int> total{0};
+  parallel_for_stateful(
+      100, 4,
+      [&] {
+        states_made.fetch_add(1);
+        return int{0};
+      },
+      [](int& local, std::size_t i) { local += static_cast<int>(i); },
+      [&](int& local) {
+        finalized.fetch_add(1);
+        total.fetch_add(local);
+      });
+  EXPECT_EQ(finalized.load(), states_made.load());
+  EXPECT_EQ(total.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPool, FinalizeSkippedOnFailure) {
+  std::atomic<int> finalized{0};
+  EXPECT_THROW(
+      parallel_for_stateful(
+          8, 2, [] { return 0; },
+          [](int&, std::size_t i) {
+            if (i == 3) throw std::runtime_error("boom");
+          },
+          [&](int&) { finalized.fetch_add(1); }),
+      std::runtime_error);
+  // Workers that drained cleanly may finalize, but never all of them when
+  // the failure raced in first; the failing worker itself must not.
+  EXPECT_LE(finalized.load(), 1);
+}
+
 TEST(Check, RequireThrowsWithMessage) {
   EXPECT_NO_THROW(require(true, "fine"));
   try {

@@ -268,6 +268,57 @@ TEST(Campaign, DeterministicUnderTableBatching) {
               unbatched.results[i].minus_log10_p);
 }
 
+TEST(Campaign, BitSlicedMatchesScalarBinForBin) {
+  // The bit-sliced accumulation path (CSA popcounts, packed transposes,
+  // flat direct-indexed tables) must be a pure speedup: every statistic is
+  // bit-identical to the scalar reference path on the same seed, across the
+  // glitch model, the transition model, and both thread counts.
+  Netlist nl = kronecker_netlist(RandomnessPlan::kron1_demeyer_eq6());
+  for (ProbeModel model : {ProbeModel::kGlitch, ProbeModel::kGlitchTransition}) {
+    CampaignOptions opts = kron_options(model, 2000);
+    opts.seed = 11;
+    for (unsigned threads : {1u, 2u}) {
+      opts.threads = threads;
+      opts.accumulation = Accumulation::kScalar;
+      const CampaignResult scalar = run_fixed_vs_random(nl, opts);
+      opts.accumulation = Accumulation::kBitSliced;
+      const CampaignResult sliced = run_fixed_vs_random(nl, opts);
+      ASSERT_EQ(sliced.results.size(), scalar.results.size());
+      EXPECT_EQ(sliced.pass, scalar.pass);
+      EXPECT_EQ(sliced.max_minus_log10_p, scalar.max_minus_log10_p);
+      for (std::size_t i = 0; i < scalar.results.size(); ++i) {
+        EXPECT_EQ(sliced.results[i].name, scalar.results[i].name);
+        EXPECT_EQ(sliced.results[i].g.g, scalar.results[i].g.g)
+            << sliced.results[i].name;
+        EXPECT_EQ(sliced.results[i].g.bins, scalar.results[i].g.bins);
+        EXPECT_EQ(sliced.results[i].g.n_fixed, scalar.results[i].g.n_fixed);
+        EXPECT_EQ(sliced.results[i].minus_log10_p,
+                  scalar.results[i].minus_log10_p);
+      }
+    }
+  }
+}
+
+TEST(Campaign, BitSlicedMatchesScalarTTest) {
+  // Same contract for the t-test: the weighted Hamming-weight moment feed
+  // (add_weighted of popcount histograms) must reproduce the per-lane
+  // scalar moment stream exactly, including FP summation order.
+  Netlist nl = kronecker_netlist(RandomnessPlan::kron1_full_fresh());
+  CampaignOptions opts = kron_options(ProbeModel::kGlitch, 2000);
+  opts.statistic = Statistic::kWelchTTest;
+  opts.threads = 2;
+  opts.accumulation = Accumulation::kScalar;
+  const CampaignResult scalar = run_fixed_vs_random(nl, opts);
+  opts.accumulation = Accumulation::kBitSliced;
+  const CampaignResult sliced = run_fixed_vs_random(nl, opts);
+  ASSERT_EQ(sliced.results.size(), scalar.results.size());
+  for (std::size_t i = 0; i < scalar.results.size(); ++i) {
+    EXPECT_EQ(sliced.results[i].t.t, scalar.results[i].t.t)
+        << sliced.results[i].name;
+    EXPECT_EQ(sliced.results[i].severity, scalar.results[i].severity);
+  }
+}
+
 TEST(Campaign, TTestDeterministicAcrossThreadCounts) {
   // Welford moment merging is FP-order-sensitive; the ordered chunk merge
   // must make the t statistic bit-identical too.

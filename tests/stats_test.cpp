@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "src/common/rng.hpp"
 #include "src/stats/gtest_stat.hpp"
@@ -228,6 +232,232 @@ TEST(TTest, DegenerateInputsGiveZero) {
     cb.add(2.0);
   }
   EXPECT_EQ(welch_t_test(ca, cb).t, 0.0);
+}
+
+TEST(TTest, AddWeightedIsBitIdenticalToRepeatedAdds) {
+  common::Xoshiro256 rng(31);
+  // Histogram folds (the bit-sliced campaign path) against the same counts
+  // applied as sequential scalar adds — exact FP equality required.
+  MomentAccumulator weighted, sequential;
+  for (int step = 0; step < 200; ++step) {
+    const double sample = static_cast<double>(rng.below(20));
+    const std::uint64_t count = 1 + rng.below(7);
+    weighted.add_weighted(sample, count);
+    MomentAccumulator run;
+    for (std::uint64_t i = 0; i < count; ++i) run.add(sample);
+    sequential.merge(run);
+    ASSERT_EQ(weighted.count(), sequential.count());
+    ASSERT_EQ(weighted.mean(), sequential.mean());
+    ASSERT_EQ(weighted.variance(), sequential.variance());
+  }
+  MomentAccumulator noop;
+  noop.add_weighted(5.0, 0);
+  EXPECT_EQ(noop.count(), 0u);
+}
+
+// --- flat count tables --------------------------------------------------------
+
+TEST(FlatCountTable, HashedModeMatchesContingencyTable) {
+  common::Xoshiro256 rng(37);
+  FlatCountTable flat;
+  ContingencyTable reference;
+  for (int i = 0; i < 20000; ++i) {
+    // Stress probing/growth: a mix of dense small keys and sparse wide ones.
+    const std::uint64_t key =
+        (i % 3 == 0) ? rng.next() : rng.next() & 0x3FF;
+    const int group = static_cast<int>(rng.bit());
+    flat.add(key, group);
+    reference.add(key, group);
+  }
+  EXPECT_EQ(flat.bin_count(), reference.bin_count());
+  EXPECT_EQ(flat.group_total(0), reference.group_total(0));
+  EXPECT_EQ(flat.group_total(1), reference.group_total(1));
+  for (const auto& [key, cnt] : reference.counts()) {
+    const auto got = flat.counts_for(key);
+    ASSERT_EQ(got[0], cnt[0]) << "key " << key;
+    ASSERT_EQ(got[1], cnt[1]) << "key " << key;
+  }
+  const GTestResult a = flat.g_test();
+  const GTestResult b = reference.g_test();
+  EXPECT_EQ(a.bins, b.bins);
+  EXPECT_EQ(a.df, b.df);
+  // Column order differs (sorted vs unordered_map), so allow FP reordering
+  // noise in the G sum.
+  EXPECT_NEAR(a.g, b.g, 1e-6 * std::max(1.0, b.g));
+}
+
+TEST(FlatCountTable, DirectModeMatchesHashedMode) {
+  common::Xoshiro256 rng(41);
+  FlatCountTable direct, hashed;
+  direct.init_direct(10);
+  ASSERT_TRUE(direct.direct_mode());
+  ASSERT_FALSE(hashed.direct_mode());
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.below(1u << 10);
+    const int group = static_cast<int>(rng.bit());
+    const std::uint64_t count = 1 + rng.below(3);
+    direct.add(key, group, count);
+    hashed.add(key, group, count);
+  }
+  EXPECT_EQ(direct.bin_count(), hashed.bin_count());
+  EXPECT_EQ(direct.sorted_keys(), hashed.sorted_keys());
+  for (std::uint64_t key : direct.sorted_keys())
+    ASSERT_EQ(direct.counts_for(key), hashed.counts_for(key));
+  const GTestResult a = direct.g_test();
+  const GTestResult b = hashed.g_test();
+  EXPECT_EQ(a.bins, b.bins);
+  EXPECT_EQ(a.g, b.g);  // identical column order -> identical FP sequence
+}
+
+TEST(FlatCountTable, OverflowKeyRoutesToOverflowBin) {
+  FlatCountTable flat;
+  flat.add(FlatCountTable::kOverflowKey, 0, 5);
+  flat.add(FlatCountTable::kOverflowKey, 1, 7);
+  flat.add(3, 0);
+  EXPECT_EQ(flat.bin_count(), 2u);  // one real key + the overflow bin
+  const auto overflow = flat.counts_for(FlatCountTable::kOverflowKey);
+  EXPECT_EQ(overflow[0], 5u);
+  EXPECT_EQ(overflow[1], 7u);
+  const auto keys = flat.sorted_keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys.back(), FlatCountTable::kOverflowKey);  // always sorts last
+}
+
+TEST(FlatCountTable, BinCapPoolingMatchesContingencyTable) {
+  common::Xoshiro256 rng(43);
+  FlatCountTable flat;
+  ContingencyTable reference;
+  flat.set_bin_limit(16);
+  reference.set_bin_limit(16);
+  // Same insertion sequence -> identical kept bins and pooled overflow.
+  std::vector<std::pair<std::uint64_t, int>> inserts;
+  for (int i = 0; i < 4000; ++i)
+    inserts.push_back({rng.below(200), static_cast<int>(rng.bit())});
+  for (const auto& [key, group] : inserts) {
+    flat.add(key, group);
+    reference.add(key, group);
+  }
+  EXPECT_EQ(flat.bin_count(), reference.bin_count());
+  for (const auto& [key, cnt] : reference.counts())
+    ASSERT_EQ(flat.counts_for(key), cnt) << "key " << key;
+}
+
+TEST(FlatCountTable, AddKeys64AndPackedMatchScalarAdds) {
+  common::Xoshiro256 rng(47);
+  FlatCountTable batched, packed, scalar;
+  for (int round = 0; round < 50; ++round) {
+    std::array<std::uint64_t, 64> keys;
+    for (auto& key : keys) key = rng.below(1u << 12);
+    const int group = static_cast<int>(rng.bit());
+    batched.add_keys64(keys.data(), group);
+    for (std::uint64_t key : keys) scalar.add(key, group);
+    // A one-sample pack at key_bits = 12 reads bits [0, 12) of each row —
+    // the keys themselves.
+    packed.add_packed(keys.data(), 12, 1, group);
+  }
+  EXPECT_EQ(batched.sorted_keys(), scalar.sorted_keys());
+  for (std::uint64_t key : scalar.sorted_keys()) {
+    ASSERT_EQ(batched.counts_for(key), scalar.counts_for(key));
+    ASSERT_EQ(packed.counts_for(key), scalar.counts_for(key));
+  }
+}
+
+TEST(FlatCountTable, AddPackedExtractsSampleMajor) {
+  // Two 8-bit samples per row: lane L carries sample 0 at bits [0,8) and
+  // sample 1 at bits [8,16).
+  std::array<std::uint64_t, 64> rows{};
+  for (unsigned lane = 0; lane < 64; ++lane)
+    rows[lane] = (static_cast<std::uint64_t>(lane + 100) << 8) | lane;
+  FlatCountTable packed, scalar;
+  packed.add_packed(rows.data(), 8, 2, 1);
+  for (unsigned lane = 0; lane < 64; ++lane) scalar.add(lane, 1);
+  for (unsigned lane = 0; lane < 64; ++lane) scalar.add(lane + 100, 1);
+  EXPECT_EQ(packed.sorted_keys(), scalar.sorted_keys());
+  for (std::uint64_t key : scalar.sorted_keys())
+    ASSERT_EQ(packed.counts_for(key), scalar.counts_for(key));
+}
+
+TEST(FlatCountTable, FlatMergeMatchesScalarReplay) {
+  common::Xoshiro256 rng(53);
+  // Master <- two chunk tables (one direct, one hashed) must equal replaying
+  // every observation into one table.
+  FlatCountTable master, chunk_direct, chunk_hashed, replay;
+  master.init_direct(8);
+  chunk_direct.init_direct(8);
+  replay.init_direct(8);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t key = rng.below(256);
+    const int group = static_cast<int>(rng.bit());
+    (i % 2 ? chunk_direct : chunk_hashed).add(key, group);
+    replay.add(key, group);
+  }
+  master.merge(chunk_direct);
+  master.merge(chunk_hashed);
+  EXPECT_EQ(master.sorted_keys(), replay.sorted_keys());
+  for (std::uint64_t key : replay.sorted_keys())
+    ASSERT_EQ(master.counts_for(key), replay.counts_for(key));
+  EXPECT_EQ(master.g_test().g, replay.g_test().g);
+}
+
+TEST(FlatCountTable, MergeOrderDeterministicUnderPooling) {
+  common::Xoshiro256 rng(59);
+  // When the master's bin cap can pool, merge visits incoming keys sorted,
+  // so the result depends only on table contents — not the insertion order
+  // that built the incoming chunk.
+  FlatCountTable chunk_a, chunk_b;
+  std::vector<std::pair<std::uint64_t, int>> inserts;
+  for (int i = 0; i < 500; ++i)
+    inserts.push_back({rng.below(100), static_cast<int>(rng.bit())});
+  for (const auto& [key, group] : inserts) chunk_a.add(key, group);
+  for (auto it = inserts.rbegin(); it != inserts.rend(); ++it)
+    chunk_b.add(it->first, it->second);  // reversed insertion order
+  auto build_master = [&](const FlatCountTable& chunk) {
+    FlatCountTable master;
+    master.set_bin_limit(20);
+    for (int i = 0; i < 40; ++i) master.add(1000 + i, 0);  // near the cap
+    master.merge(chunk);
+    return master;
+  };
+  const FlatCountTable a = build_master(chunk_a);
+  const FlatCountTable b = build_master(chunk_b);
+  EXPECT_EQ(a.sorted_keys(), b.sorted_keys());
+  for (std::uint64_t key : a.sorted_keys())
+    ASSERT_EQ(a.counts_for(key), b.counts_for(key));
+}
+
+TEST(FlatCountTable, ContingencyMergeFromFlatMatchesScalar) {
+  common::Xoshiro256 rng(61);
+  FlatCountTable chunk;
+  ContingencyTable via_merge, via_scalar;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.below(300);
+    const int group = static_cast<int>(rng.bit());
+    chunk.add(key, group);
+    via_scalar.add(key, group);
+  }
+  via_merge.merge(chunk);
+  EXPECT_EQ(via_merge.bin_count(), via_scalar.bin_count());
+  for (const auto& [key, cnt] : via_scalar.counts())
+    ASSERT_EQ(via_merge.counts().at(key), cnt);
+}
+
+TEST(FlatCountTable, ClearKeepsModeAndCapacity) {
+  FlatCountTable direct, hashed;
+  direct.init_direct(6);
+  for (int i = 0; i < 100; ++i) {
+    direct.add(static_cast<std::uint64_t>(i % 64), i % 2);
+    hashed.add(static_cast<std::uint64_t>(i * 17), i % 2);
+  }
+  direct.clear();
+  hashed.clear();
+  EXPECT_TRUE(direct.direct_mode());
+  EXPECT_EQ(direct.bin_count(), 0u);
+  EXPECT_EQ(hashed.bin_count(), 0u);
+  EXPECT_EQ(hashed.group_total(0) + hashed.group_total(1), 0u);
+  direct.add(5, 0);
+  hashed.add(5, 0);
+  EXPECT_EQ(direct.counts_for(5)[0], 1u);
+  EXPECT_EQ(hashed.counts_for(5)[0], 1u);
 }
 
 }  // namespace
