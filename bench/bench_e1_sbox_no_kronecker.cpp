@@ -12,7 +12,8 @@
 
 using namespace sca;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Staging staging = benchutil::parse_staging(argc, argv);
   benchutil::Scorecard score("e1_sbox_no_kronecker");
   const std::size_t sims = benchutil::simulations(200000);
   std::printf("E1: masked Sbox without Kronecker delta, fixed non-zero input\n");
@@ -22,7 +23,7 @@ int main() {
   gadgets::MaskedSboxOptions options;
   options.include_kronecker = false;
   const eval::CampaignResult result = benchutil::run_sbox(
-      options, /*fixed_value=*/0x01, eval::ProbeModel::kGlitch, sims);
+      options, /*fixed_value=*/0x01, eval::ProbeModel::kGlitch, sims, staging);
   std::printf("%s\n", to_string(result, 5).c_str());
 
   score.expect("Sbox w/o Kronecker, fixed 0x01, glitch model", true, result);

@@ -15,7 +15,8 @@
 
 using namespace sca;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Staging staging = benchutil::parse_staging(argc, argv);
   benchutil::Scorecard score("e2_kronecker_flaw");
   const std::size_t sims = benchutil::simulations(200000);
   std::printf("E2/F3: masked Sbox with Kronecker + Eq.(6) optimization, "
@@ -26,10 +27,19 @@ int main() {
   gadgets::MaskedSboxOptions options;
   options.kron_plan = gadgets::RandomnessPlan::kron1_demeyer_eq6();
   const eval::CampaignResult result = benchutil::run_sbox(
-      options, /*fixed_value=*/0x00, eval::ProbeModel::kGlitch, sims);
+      options, /*fixed_value=*/0x00, eval::ProbeModel::kGlitch, sims, staging);
+  if (result.interrupted) {
+    std::printf("interrupted after stage %zu/%zu — resume with --resume "
+                "--checkpoint=%s\n",
+                result.stages_completed, result.stages_total,
+                staging.checkpoint.c_str());
+    return 0;
+  }
   std::printf("%s\n", to_string(result, 8).c_str());
 
   score.note("sims", sims);
+  if (result.resumed) score.note("resumed", true);
+  if (result.early_stopped) score.note("early_stopped", true);
   score.note("threads", result.threads_used);
   score.expect("Sbox w/ Kronecker + Eq.(6), fixed 0x00, glitch model",
                /*expected_pass=*/false, result);

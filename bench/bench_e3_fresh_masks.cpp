@@ -13,7 +13,8 @@
 
 using namespace sca;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Staging staging = benchutil::parse_staging(argc, argv);
   benchutil::Scorecard score("e3_fresh_masks");
   const std::size_t sims = benchutil::simulations(200000);
   std::printf("E3: 7 independent fresh mask bits restore security\n\n");
@@ -21,7 +22,7 @@ int main() {
   gadgets::MaskedSboxOptions options;
   options.kron_plan = gadgets::RandomnessPlan::kron1_full_fresh();
   const eval::CampaignResult sampled = benchutil::run_sbox(
-      options, /*fixed_value=*/0x00, eval::ProbeModel::kGlitch, sims);
+      options, /*fixed_value=*/0x00, eval::ProbeModel::kGlitch, sims, staging);
   std::printf("%s\n", to_string(sampled, 5).c_str());
 
   const netlist::Netlist kron = benchutil::kronecker_netlist(

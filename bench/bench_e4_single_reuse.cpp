@@ -34,7 +34,8 @@ double exact_severity(const gadgets::RandomnessPlan& plan, bool* leaks,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Staging staging = benchutil::parse_staging(argc, argv);
   const std::size_t sims = benchutil::simulations(150000);
   benchutil::Scorecard score("e4_single_reuse");
 
@@ -83,9 +84,11 @@ int main() {
   score.expect("single reuse, sampled, glitch model", false,
                benchutil::run_kronecker(
                    gadgets::RandomnessPlan::kron1_single_reuse_r1r3(),
-                   eval::ProbeModel::kGlitch, sims));
+                   eval::ProbeModel::kGlitch, sims, 1, 2,
+                   staging.with_suffix("single")));
   score.expect("pair reuse, sampled, glitch model", false,
                benchutil::run_kronecker(gadgets::RandomnessPlan::kron1_pair_reuse(),
-                                        eval::ProbeModel::kGlitch, sims));
+                                        eval::ProbeModel::kGlitch, sims, 1, 2,
+                                        staging.with_suffix("pair")));
   return score.exit_code();
 }

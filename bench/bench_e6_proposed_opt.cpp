@@ -12,7 +12,8 @@
 
 using namespace sca;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Staging staging = benchutil::parse_staging(argc, argv);
   const std::size_t sims = benchutil::simulations(200000);
   benchutil::Scorecard score("e6_proposed_opt");
 
@@ -28,7 +29,8 @@ int main() {
   gadgets::MaskedSboxOptions sbox_options;
   sbox_options.kron_plan = eq9;
   const eval::CampaignResult sbox_eq9 = benchutil::run_sbox(
-      sbox_options, 0x00, eval::ProbeModel::kGlitch, sims);
+      sbox_options, 0x00, eval::ProbeModel::kGlitch, sims,
+      staging.with_suffix("eq9"));
   std::printf("%s\n", to_string(sbox_eq9, 4).c_str());
   score.expect("full Sbox w/ Eq.(9), fixed 0x00, glitch model", true, sbox_eq9);
 
@@ -39,7 +41,8 @@ int main() {
   score.expect_flag("r5 = r6 leaks under glitch model (exact)", true,
                     exact_r5r6.any_leak);
   score.expect("r5 = r6, sampled, glitch model", false,
-               benchutil::run_kronecker(r5r6, eval::ProbeModel::kGlitch, sims));
+               benchutil::run_kronecker(r5r6, eval::ProbeModel::kGlitch, sims,
+                                        1, 2, staging.with_suffix("r5r6")));
 
   std::printf("\nrandomness cost summary (fresh mask bits per cycle):\n");
   std::printf("  no optimization           7\n");

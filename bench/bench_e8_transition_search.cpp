@@ -12,7 +12,8 @@
 
 using namespace sca;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Staging staging = benchutil::parse_staging(argc, argv);
   const std::size_t sims = benchutil::simulations(150000);
   benchutil::Scorecard score("e8_transition_search");
 
@@ -21,7 +22,7 @@ int main() {
 
   const eval::CampaignResult eq9 = benchutil::run_kronecker(
       gadgets::RandomnessPlan::kron1_proposed_eq9(),
-      eval::ProbeModel::kGlitchTransition, sims);
+      eval::ProbeModel::kGlitchTransition, sims, 1, 2, staging);
   score.expect("Eq.(9) under glitch+transition model", false, eq9);
 
   eval::SearchOptions options;

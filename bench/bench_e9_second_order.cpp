@@ -21,7 +21,8 @@
 
 using namespace sca;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Staging staging = benchutil::parse_staging(argc, argv);
   const std::size_t sims1 = benchutil::simulations(80000);
   const std::size_t sims2 = std::max<std::size_t>(benchutil::simulations(30000) / 2, 20000);
   benchutil::Scorecard score("e9_second_order");
@@ -36,10 +37,12 @@ int main() {
   std::printf("[a] unoptimized, %zu fresh bits\n", full.fresh_count());
   score.expect("order 1", true,
                benchutil::run_kronecker(full, eval::ProbeModel::kGlitchTransition,
-                                        sims1, 1, 3));
+                                        sims1, 1, 3,
+                                        staging.with_suffix("full_o1")));
   score.expect("order 2", true,
                benchutil::run_kronecker(full, eval::ProbeModel::kGlitchTransition,
-                                        sims2, 2, 3));
+                                        sims2, 2, 3,
+                                        staging.with_suffix("full_o2")));
 
   const auto reduced = gadgets::RandomnessPlan::kron2_reduced();
   std::printf("\n[b] reduced reconstruction, %zu fresh bits (%s)\n",
@@ -47,19 +50,23 @@ int main() {
   score.expect("order 1", true,
                benchutil::run_kronecker(reduced,
                                         eval::ProbeModel::kGlitchTransition,
-                                        sims1, 1, 3));
+                                        sims1, 1, 3,
+                                        staging.with_suffix("reduced_o1")));
   score.expect("order 2", true,
                benchutil::run_kronecker(reduced,
                                         eval::ProbeModel::kGlitchTransition,
-                                        sims2, 2, 3));
+                                        sims2, 2, 3,
+                                        staging.with_suffix("reduced_o2")));
 
   const auto naive = gadgets::RandomnessPlan::kron2_naive13();
   std::printf("\n[c] naive 13-bit slot sharing — the cautionary tale\n");
   const auto naive_o1 = benchutil::run_kronecker(
-      naive, eval::ProbeModel::kGlitch, sims1, 1, 3);
+      naive, eval::ProbeModel::kGlitch, sims1, 1, 3,
+      staging.with_suffix("naive_o1"));
   score.expect("passes order 1 under the glitch-only model", true, naive_o1);
   const auto naive_o2 = benchutil::run_kronecker(
-      naive, eval::ProbeModel::kGlitch, sims2, 2, 3);
+      naive, eval::ProbeModel::kGlitch, sims2, 2, 3,
+      staging.with_suffix("naive_o2"));
   score.expect("caught at order 2", false, naive_o2);
   if (!naive_o2.pass)
     std::printf("  order-2 leak at: %s (-log10 p = %.1f)\n",

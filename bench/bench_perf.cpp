@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -174,6 +175,9 @@ struct PerfPoint {
   double simulate_seconds = 0.0;
   double accumulate_seconds = 0.0;
   double merge_seconds = 0.0;
+  // Wall seconds per evaluation stage (only populated when SCA_STAGES > 1
+  // splits the campaign; an unstaged run leaves this empty).
+  std::vector<double> stage_seconds;
 };
 
 PerfPoint run_e2_point(const netlist::Netlist& nl,
@@ -185,9 +189,19 @@ PerfPoint run_e2_point(const netlist::Netlist& nl,
   options.fixed_values[0] = 0x00;
   options.nonzero_random_buses = {sbox.rand_b2m};
   options.threads = threads;
+  PerfPoint point;
+  // Observe per-stage timings only when the user opted into staging:
+  // attaching a stage observer makes the engine compute interim statistics
+  // at every stage boundary, which would distort an unstaged measurement.
+  unsigned env_stages = 0;
+  if (const char* env = std::getenv("SCA_STAGES"))
+    env_stages = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  if (env_stages > 1)
+    options.on_stage = [&point](const eval::StageReport& report) {
+      point.stage_seconds.push_back(report.stage_seconds);
+    };
   const auto start = std::chrono::steady_clock::now();
   const eval::CampaignResult result = eval::run_fixed_vs_random(nl, options);
-  PerfPoint point;
   point.threads = threads;
   point.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -224,9 +238,25 @@ int run_perf_trajectory() {
   std::printf("  threads   seconds     sims/sec    gate-evals/sec   speedup"
               "      sim%%    acc%%  merge%%\n");
 
+  // Sweep only thread counts the machine can actually schedule: points
+  // beyond the physical core count measure oversubscription, not scaling
+  // (this container has 1 core — the 2/4/8-thread points were noise).
+  // SCA_PERF_ALL_THREADS=1 restores the full sweep.
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  bool full_sweep = false;
+  if (const char* env = std::getenv("SCA_PERF_ALL_THREADS"))
+    full_sweep = std::strtoul(env, nullptr, 10) != 0;
+  std::vector<unsigned> thread_counts;
+  for (unsigned threads : {1u, 2u, 4u, 8u})
+    if (full_sweep || threads <= cores) thread_counts.push_back(threads);
+  if (thread_counts.size() < 4)
+    std::printf("  (skipping thread counts above %u physical core%s — set "
+                "SCA_PERF_ALL_THREADS=1 for the full sweep)\n",
+                cores, cores == 1 ? "" : "s");
+
   std::vector<PerfPoint> points;
   bool deterministic = true;
-  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+  for (unsigned threads : thread_counts) {
     PerfPoint p = run_e2_point(nl, sbox, sims, comb_gates, threads);
     if (!points.empty()) {
       p.speedup = p.sims_per_sec / points.front().sims_per_sec;
@@ -305,6 +335,20 @@ int run_perf_trajectory() {
   line.add("simulate_seconds", points.front().simulate_seconds);
   line.add("accumulate_seconds", points.front().accumulate_seconds);
   line.add("merge_seconds", points.front().merge_seconds);
+  // Stage-timing fields (SCA_STAGES > 1): how evenly the staged engine
+  // spreads the budget, trackable across commits like the phase timings.
+  const std::vector<double>& stage_secs = points.front().stage_seconds;
+  line.add("stages", stage_secs.empty() ? std::size_t{1} : stage_secs.size());
+  if (!stage_secs.empty()) {
+    double total = 0.0, worst = 0.0;
+    for (double s : stage_secs) {
+      total += s;
+      worst = std::max(worst, s);
+    }
+    line.add("stage_seconds_mean",
+             total / static_cast<double>(stage_secs.size()));
+    line.add("stage_seconds_max", worst);
+  }
   line.append_to(benchutil::bench_json_path());
   return deterministic ? 0 : 1;
 }

@@ -100,6 +100,96 @@ class JsonLine {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Staged-evaluation knobs shared by the experiment benches. Defaults are
+/// inert (single stage, no checkpoint, no early stopping); SCA_STAGES still
+/// applies inside the engine when `stages` is left at 0.
+struct Staging {
+  unsigned stages = 0;             ///< 0 = SCA_STAGES env, else unstaged.
+  std::string checkpoint;          ///< Snapshot path; "" = no checkpointing.
+  bool resume = false;             ///< Resume from `checkpoint` if present.
+  unsigned stop_after_stage = 0;   ///< Interrupt after stage k (CI/testing).
+  unsigned early_stop_stages = 0;  ///< Consecutive confirmations; 0 = off.
+  double early_stop_margin = 3.0;  ///< Extra -log10(p) above the threshold.
+
+  /// Same staging with a per-campaign suffix on the checkpoint path, so a
+  /// bench running several campaigns keeps their snapshots apart.
+  Staging with_suffix(const std::string& tag) const {
+    Staging s = *this;
+    if (!s.checkpoint.empty()) s.checkpoint += "." + tag;
+    return s;
+  }
+};
+
+/// Parses the staging flags every experiment bench accepts:
+///   --stages=N --checkpoint=PATH --resume[=PATH] --stop-after-stage=K
+///   --early-stop[=K] --early-stop-margin=X
+/// Unknown arguments print usage and exit(2).
+inline Staging parse_staging(int argc, char** argv) {
+  Staging s;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    const auto take = [&](const std::string& prefix) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      v = arg.substr(prefix.size());
+      return true;
+    };
+    if (take("--stages="))
+      s.stages = static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (take("--checkpoint="))
+      s.checkpoint = v;
+    else if (arg == "--resume")
+      s.resume = true;
+    else if (take("--resume=")) {
+      s.resume = true;
+      s.checkpoint = v;
+    } else if (take("--stop-after-stage="))
+      s.stop_after_stage =
+          static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (arg == "--early-stop")
+      s.early_stop_stages = 2;
+    else if (take("--early-stop="))
+      s.early_stop_stages =
+          static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
+    else if (take("--early-stop-margin="))
+      s.early_stop_margin = std::strtod(v.c_str(), nullptr);
+    else {
+      std::fprintf(
+          stderr,
+          "unknown argument: %s\n"
+          "usage: %s [--stages=N] [--checkpoint=PATH] [--resume[=PATH]]\n"
+          "          [--stop-after-stage=K] [--early-stop[=K]]\n"
+          "          [--early-stop-margin=X]\n",
+          arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  if (s.resume && s.checkpoint.empty()) {
+    std::fprintf(stderr,
+                 "--resume needs a snapshot path: use --checkpoint=PATH or "
+                 "--resume=PATH\n");
+    std::exit(2);
+  }
+  return s;
+}
+
+/// Copies the staging knobs into campaign options and, whenever staging is
+/// actually active (either via flags or SCA_STAGES), wires the default
+/// stage sink so progress lines appear between stages.
+inline void apply_staging(const Staging& s, eval::CampaignOptions& options) {
+  options.stages = s.stages;
+  options.checkpoint_path = s.checkpoint;
+  options.resume = s.resume;
+  options.stop_after_stage = s.stop_after_stage;
+  options.early_stop_stages = s.early_stop_stages;
+  options.early_stop_margin = s.early_stop_margin;
+  bool staged = s.stages > 1 || s.resume || !s.checkpoint.empty() ||
+                s.early_stop_stages > 0 || s.stop_after_stage > 0;
+  if (const char* env = std::getenv("SCA_STAGES"))
+    staged |= std::strtoul(env, nullptr, 10) > 1;
+  if (staged) options.on_stage = eval::default_stage_sink;
+}
+
 /// Builds a standalone Kronecker delta netlist over `share_count` shares.
 inline netlist::Netlist kronecker_netlist(const gadgets::RandomnessPlan& plan,
                                           std::size_t share_count = 2) {
@@ -117,20 +207,23 @@ inline netlist::Netlist kronecker_netlist(const gadgets::RandomnessPlan& plan,
 inline eval::CampaignResult run_kronecker(const gadgets::RandomnessPlan& plan,
                                           eval::ProbeModel model,
                                           std::size_t sims, unsigned order = 1,
-                                          std::size_t share_count = 2) {
+                                          std::size_t share_count = 2,
+                                          const Staging& staging = {}) {
   const netlist::Netlist nl = kronecker_netlist(plan, share_count);
   eval::CampaignOptions options;
   options.model = model;
   options.order = order;
   options.simulations = sims;
   options.fixed_values[0] = 0x00;
+  apply_staging(staging, options);
   return eval::run_fixed_vs_random(nl, options);
 }
 
 /// Fixed-vs-random campaign on the full masked Sbox.
 inline eval::CampaignResult run_sbox(const gadgets::MaskedSboxOptions& sbox_opts,
                                      std::uint8_t fixed_value,
-                                     eval::ProbeModel model, std::size_t sims) {
+                                     eval::ProbeModel model, std::size_t sims,
+                                     const Staging& staging = {}) {
   netlist::Netlist nl;
   const gadgets::MaskedSbox sbox = gadgets::build_masked_sbox(nl, sbox_opts);
   eval::CampaignOptions options;
@@ -138,6 +231,7 @@ inline eval::CampaignResult run_sbox(const gadgets::MaskedSboxOptions& sbox_opts
   options.simulations = sims;
   options.fixed_values[0] = fixed_value;
   options.nonzero_random_buses = {sbox.rand_b2m};
+  apply_staging(staging, options);
   return eval::run_fixed_vs_random(nl, options);
 }
 

@@ -15,9 +15,21 @@
 //     --top N                     probe sets to print      (default 10)
 //     --exact                     also run the exact first-order glitch
 //                                 verifier (pipelines only)
+//     --stages N                  split the budget into N evaluation stages
+//                                 with a progress report after each
+//                                 (SCA_STAGES works too)
+//     --checkpoint PATH           snapshot the campaign at every stage
+//                                 boundary into PATH
+//     --resume                    resume from --checkpoint if it exists
+//     --early-stop N              stop once a leak clears the threshold by
+//                                 --early-stop-margin for N straight stages
+//     --early-stop-margin X       early-stop margin         (default 3.0)
 //
 // Example (the paper's flawed Kronecker, exported by examples/netlist_tour):
 //   evaltool kronecker.snl --fixed 0=0 --exact
+// Interrupted-campaign workflow:
+//   evaltool big.snl --stages 10 --checkpoint run.ckpt   # killed at stage 6
+//   evaltool big.snl --stages 10 --checkpoint run.ckpt --resume
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,7 +52,9 @@ namespace {
                "usage: %s <netlist.snl> [--model glitch|transition] "
                "[--order N] [--sims N]\n"
                "       [--fixed G=V]... [--threshold X] [--scope PREFIX] "
-               "[--seed N] [--top N] [--exact]\n",
+               "[--seed N] [--top N] [--exact]\n"
+               "       [--stages N] [--checkpoint PATH] [--resume] "
+               "[--early-stop N] [--early-stop-margin X]\n",
                argv0);
   std::exit(2);
 }
@@ -90,6 +104,17 @@ int main(int argc, char** argv) {
       top = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--exact") {
       run_exact = true;
+    } else if (arg == "--stages") {
+      options.stages = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--checkpoint") {
+      options.checkpoint_path = next();
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg == "--early-stop") {
+      options.early_stop_stages =
+          static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--early-stop-margin") {
+      options.early_stop_margin = std::strtod(next(), nullptr);
     } else {
       usage(argv[0]);
     }
@@ -117,7 +142,23 @@ int main(int argc, char** argv) {
       leak |= exact.any_leak;
     }
 
+    // Show stage progress whenever the evaluation is actually staged or
+    // checkpointed (--stages / SCA_STAGES / --resume / --early-stop).
+    bool staged = options.stages > 1 || options.resume ||
+                  !options.checkpoint_path.empty() ||
+                  options.early_stop_stages > 0;
+    if (const char* env = std::getenv("SCA_STAGES"))
+      staged |= std::strtoul(env, nullptr, 10) > 1;
+    if (staged) options.on_stage = eval::default_stage_sink;
+
     const eval::CampaignResult result = eval::run_fixed_vs_random(nl, options);
+    if (result.resumed)
+      std::printf("resumed from %s\n", options.checkpoint_path.c_str());
+    if (result.early_stopped)
+      std::printf("early stop after %zu/%zu stages (%zu of %zu simulations "
+                  "per group)\n",
+                  result.stages_completed, result.stages_total,
+                  result.simulations_done, result.simulations_per_group);
     std::printf("%s", to_string(result, top).c_str());
     leak |= !result.pass;
     return leak ? 1 : 0;

@@ -1,0 +1,112 @@
+// Little-endian binary stream I/O for campaign snapshots.
+//
+// The checkpoint/resume machinery serializes statistics accumulators into a
+// versioned binary format; these helpers make that format explicit and
+// platform-independent (fixed widths, fixed byte order, doubles bit-cast
+// through uint64) and turn every short read into a thrown Error instead of
+// silently propagating stream failbits. The FNV-1a accumulator doubles as
+// the snapshot checksum and the campaign-options fingerprint.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/common/check.hpp"
+
+namespace sca::common {
+
+inline void write_u64(std::ostream& os, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(b, 8);
+}
+
+inline std::uint64_t read_u64(std::istream& is) {
+  char b[8];
+  is.read(b, 8);
+  require(is.gcount() == 8, "serialize: truncated stream (u64)");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  return v;
+}
+
+inline void write_u8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+inline std::uint8_t read_u8(std::istream& is) {
+  const int c = is.get();
+  require(c != std::char_traits<char>::eof(),
+          "serialize: truncated stream (u8)");
+  return static_cast<std::uint8_t>(c);
+}
+
+/// Doubles travel as their IEEE-754 bit pattern: deserialization is
+/// bit-exact, which the resume-equals-uninterrupted contract requires for
+/// the Welford moment state.
+inline void write_f64(std::ostream& os, double v) {
+  write_u64(os, std::bit_cast<std::uint64_t>(v));
+}
+
+inline double read_f64(std::istream& is) {
+  return std::bit_cast<double>(read_u64(is));
+}
+
+/// Length-prefixed string. The read side caps the length so a corrupted
+/// prefix cannot trigger a multi-gigabyte allocation.
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string read_string(std::istream& is,
+                               std::size_t max_len = std::size_t{1} << 24) {
+  const std::uint64_t len = read_u64(is);
+  require(len <= max_len, "serialize: string length out of range");
+  std::string s(static_cast<std::size_t>(len), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  require(static_cast<std::uint64_t>(is.gcount()) == len,
+          "serialize: truncated stream (string)");
+  return s;
+}
+
+/// Streaming FNV-1a over 64-bit words — the snapshot payload checksum and
+/// the campaign-options fingerprint. Not cryptographic; it guards against
+/// corruption and honest mismatches, not adversaries.
+class Fnv1a {
+ public:
+  Fnv1a& feed(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFF;
+      h_ *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+  Fnv1a& feed(double v) { return feed(std::bit_cast<std::uint64_t>(v)); }
+  Fnv1a& feed(const std::string& s) {
+    feed(static_cast<std::uint64_t>(s.size()));
+    for (char c : s) {
+      h_ ^= static_cast<unsigned char>(c);
+      h_ *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+  Fnv1a& feed_bytes(const char* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= static_cast<unsigned char>(data[i]);
+      h_ *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace sca::common

@@ -5,15 +5,19 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "src/common/bitops.hpp"
 #include "src/common/check.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/serialize.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/core/checkpoint.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace sca::eval {
@@ -143,6 +147,18 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Stage-count resolution, mirroring resolve_threads: an explicit request
+// wins, else the SCA_STAGES environment variable, else 1 (the classic
+// single-pass campaign).
+unsigned resolve_stages(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SCA_STAGES")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 1;
+}
+
 }  // namespace
 
 std::vector<const ProbeSetResult*> CampaignResult::top(std::size_t n) const {
@@ -267,6 +283,10 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   // bytes_to_bit_planes (bit L of planes[b] = bit b of lane L's byte)
   // instead of 64-iteration per-bit loops; the RNG draw order is untouched,
   // so seeded campaigns are bit-identical to the scalar spread.
+  // Null calibration turns the campaign into random-vs-random: the "fixed"
+  // group draws fresh secrets too, so the null hypothesis holds by
+  // construction and any verdict is a false positive of the statistic.
+  const bool null_calibration = options.null_calibration;
   auto feed_cycle = [&](sim::Simulator& simulator, Xoshiro256& rng,
                         bool fixed_group) {
     std::array<std::uint8_t, 64> lane_bytes{};
@@ -274,7 +294,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
     for (const GroupInputs& g : groups) {
       const std::uint8_t mask = g.value_mask;
       std::array<std::uint8_t, 64> secret{};
-      if (fixed_group) {
+      if (fixed_group && !null_calibration) {
         secret.fill(g.fixed_byte);
       } else {
         for (auto& b : secret) b = static_cast<std::uint8_t>(rng.byte() & mask);
@@ -502,26 +522,195 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
       2 * (options.warmup_cycles +
            samples_per_run * options.sample_interval);
 
+  // Stage boundaries over the chunk grid. A stage is a contiguous chunk
+  // range; because every chunk draws from its own seeded stream and the
+  // master merge is chunk-ordered, running the ranges back to back (in one
+  // process or across a checkpoint/resume) is bit-identical to one
+  // uninterrupted pass over [0, num_chunks).
+  std::vector<std::size_t> stage_bounds;
+  {
+    std::vector<double> fractions = options.stage_schedule;
+    if (fractions.empty()) {
+      const unsigned s = resolve_stages(options.stages);
+      for (unsigned i = 1; i <= s; ++i)
+        fractions.push_back(static_cast<double>(i) / s);
+    }
+    require(std::abs(fractions.back() - 1.0) < 1e-9,
+            "campaign: stage schedule must end at 1.0");
+    stage_bounds.push_back(0);
+    double prev = 0.0;
+    for (double f : fractions) {
+      require(f > prev && f <= 1.0 + 1e-9,
+              "campaign: stage fractions must ascend within (0, 1]");
+      prev = f;
+      const std::size_t b = std::min<std::size_t>(
+          num_chunks, static_cast<std::size_t>(std::llround(
+                          f * static_cast<double>(num_chunks))));
+      if (b > stage_bounds.back()) stage_bounds.push_back(b);
+    }
+    if (stage_bounds.back() != num_chunks) stage_bounds.push_back(num_chunks);
+  }
+  const std::size_t stages_total = stage_bounds.size() - 1;
+
+  // Split the probe sets into batches whose contingency tables fit the
+  // memory budget; the simulation re-runs per batch (it is cheap next to
+  // table accumulation, and the chunk seeds make passes identical). Each
+  // worker holds its own in-flight chunk tables, so the per-batch share of
+  // the budget shrinks with the thread count. Master and chunk tables are
+  // both flat (two 64-bit counts per direct slot, ~3 words per hashed slot
+  // at half load); 64 bytes/bin covers the master plus one in-flight chunk
+  // table.
+  constexpr std::size_t kBytesPerBin = 64;
+  const std::size_t samples_total = 2 * runs_per_group * observations_per_run;
+  const std::size_t batch_budget = std::max<std::size_t>(
+      options.table_memory_budget / (std::size_t{threads} + 1), kBytesPerBin);
+  std::vector<std::pair<std::size_t, std::size_t>> batch_ranges;
+  {
+    std::size_t begin = 0;
+    while (begin < prepared.size()) {
+      std::size_t end = begin;
+      std::size_t budget_used = 0;
+      while (end < prepared.size()) {
+        const PreparedSet& set = prepared[end];
+        std::size_t est_bins = options.max_bins_per_set;
+        if (set.compacted) {
+          est_bins = std::min<std::size_t>(est_bins, 1024);
+        } else if (set.observation_bits < 40) {
+          est_bins = std::min<std::size_t>(
+              est_bins, std::size_t{1} << set.observation_bits);
+        }
+        est_bins = std::min(est_bins, samples_total);
+        std::size_t bytes = est_bins * kBytesPerBin;
+        if (set.direct_table)  // master + chunk table materialize the space
+          bytes = std::max<std::size_t>(
+              bytes, std::size_t{32} << set.observation_bits);
+        if (end > begin && budget_used + bytes > batch_budget) break;
+        budget_used += bytes;
+        ++end;
+      }
+      batch_ranges.emplace_back(begin, end);
+      begin = end;
+    }
+  }
+
+  // Configuration fingerprint: everything the snapshot's validity depends
+  // on — seed, budget, chunk/stage/batch grids, sampling parameters, and
+  // the prepared probe sets. Thread count and accumulation regime are
+  // deliberately excluded (both are bit-identical by contract, so resuming
+  // across them is sound); the batch grid covers the one way threads could
+  // matter, since the memory budget splits per worker.
+  std::uint64_t fingerprint = 0;
+  {
+    common::Fnv1a fp;
+    fp.feed(options.seed)
+        .feed(static_cast<std::uint64_t>(runs_per_group))
+        .feed(static_cast<std::uint64_t>(runs_per_chunk))
+        .feed(static_cast<std::uint64_t>(num_chunks))
+        .feed(static_cast<std::uint64_t>(samples_per_run))
+        .feed(static_cast<std::uint64_t>(options.sample_interval))
+        .feed(static_cast<std::uint64_t>(options.warmup_cycles))
+        .feed(static_cast<std::uint64_t>(options.order))
+        .feed(static_cast<std::uint64_t>(options.model))
+        .feed(static_cast<std::uint64_t>(options.statistic))
+        .feed(static_cast<std::uint64_t>(options.max_bins_per_set))
+        .feed(static_cast<std::uint64_t>(options.null_calibration ? 1 : 0))
+        .feed(options.threshold);
+    for (std::size_t b : stage_bounds)
+      fp.feed(static_cast<std::uint64_t>(b));
+    for (const auto& [bb, be] : batch_ranges)
+      fp.feed(static_cast<std::uint64_t>(bb))
+          .feed(static_cast<std::uint64_t>(be));
+    for (const auto& p : prepared)
+      fp.feed(p.name).feed(static_cast<std::uint64_t>(p.observation_bits));
+    fingerprint = fp.value();
+  }
+
   std::vector<ProbeSetResult> finished;
   finished.reserve(prepared.size());
   std::size_t total_cycles = 0;
-  std::size_t table_batches = 0;
+  std::size_t simulations_done = 0;
   double simulate_seconds = 0.0;
   double accumulate_seconds = 0.0;
   double merge_seconds = 0.0;
 
-  // One full simulation pass accumulating only the probe sets
+  // Resume: load a matching snapshot, restore the finalized results and the
+  // in-progress batch's master accumulators, and continue from its cursor.
+  std::size_t resume_batch = 0;
+  std::size_t resume_stages = 0;
+  std::size_t streak = 0;
+  bool early_stopped = false;
+  bool complete = false;
+  bool resumed = false;
+  if (options.resume && !options.checkpoint_path.empty()) {
+    const bool exists =
+        std::ifstream(options.checkpoint_path, std::ios::binary).good();
+    if (exists) {
+      CampaignSnapshot snap = load_checkpoint(options.checkpoint_path);
+      require(snap.fingerprint == fingerprint,
+              "campaign: checkpoint does not match this campaign "
+              "configuration (different netlist, seed, budget, or schedule)");
+      require(snap.num_chunks == num_chunks &&
+                  snap.batches_total == batch_ranges.size() &&
+                  snap.batch_index <= batch_ranges.size(),
+              "campaign: checkpoint cursor out of range");
+      resume_batch = snap.batch_index;
+      resume_stages = snap.stages_done;
+      streak = snap.streak;
+      early_stopped = snap.early_stopped;
+      complete = snap.complete;
+      total_cycles = snap.total_cycles;
+      simulations_done = snap.simulations_done;
+      simulate_seconds = snap.simulate_seconds;
+      accumulate_seconds = snap.accumulate_seconds;
+      merge_seconds = snap.merge_seconds;
+      finished = std::move(snap.finished);
+      require(complete || resume_batch < batch_ranges.size(),
+              "campaign: incomplete checkpoint past the last batch");
+      require(complete || resume_stages < stages_total,
+              "campaign: checkpoint stage cursor out of range");
+      require(finished.size() ==
+                  (resume_batch < batch_ranges.size()
+                       ? batch_ranges[resume_batch].first
+                       : prepared.size()),
+              "campaign: checkpoint finished-set count mismatch");
+      if (!complete && resume_stages > 0) {
+        const auto [bb, be] = batch_ranges[resume_batch];
+        require(snap.sets.size() == be - bb,
+                "campaign: checkpoint accumulator count mismatch");
+        for (std::size_t i = 0; i < snap.sets.size(); ++i) {
+          PreparedSet& p = prepared[bb + i];
+          SetSnapshot& s = snap.sets[i];
+          require(s.has_table != ttest,
+                  "campaign: checkpoint accumulator kind mismatch");
+          if (ttest) {
+            p.moments = s.moments;
+          } else {
+            require(s.table.direct_mode() == p.direct_table,
+                    "campaign: checkpoint table mode mismatch");
+            p.table = std::move(s.table);
+          }
+        }
+      }
+      resumed = true;
+    }
+  }
+  std::size_t table_batches = resume_batch;
+
+  // One simulation pass over the chunks [chunk_begin, chunk_end) — one
+  // evaluation stage — accumulating only the probe sets
   // [set_begin, set_end), sharded over the worker pool. Chunk results merge
   // into the master tables strictly in chunk order (workers park
   // out-of-order chunks in `pending`), which keeps the bin-overflow pooling
-  // and the floating-point Welford merges deterministic.
-  auto simulate_into = [&](std::size_t set_begin, std::size_t set_end) {
+  // and the floating-point Welford merges deterministic — and makes the
+  // concatenation of stage passes bit-identical to one full pass.
+  auto simulate_into = [&](std::size_t set_begin, std::size_t set_end,
+                           std::size_t chunk_begin, std::size_t chunk_end) {
     std::mutex merge_mutex;
     std::map<std::size_t, ChunkAccumulators> pending;
-    std::size_t next_merge = 0;
+    std::size_t next_merge = chunk_begin;
 
     common::parallel_for_stateful(
-        num_chunks, threads,
+        chunk_end - chunk_begin, threads,
         [&] {
           WorkerCtx ctx(schedule);
           if (!ttest) {
@@ -536,7 +725,8 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
           }
           return ctx;
         },
-        [&](WorkerCtx& ctx, std::size_t chunk) {
+        [&](WorkerCtx& ctx, std::size_t index) {
+          const std::size_t chunk = chunk_begin + index;
           Xoshiro256 rng(common::chunk_seed(options.seed, chunk));
           ChunkAccumulators acc;
           if (ttest) {
@@ -645,69 +835,201 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
           }
           merge_seconds += seconds_since(merge_start);
         });
-    SCA_ASSERT(next_merge == num_chunks && pending.empty(),
+    SCA_ASSERT(next_merge == chunk_end && pending.empty(),
                "campaign: chunk merge did not drain");
-    total_cycles += runs_per_group * cycles_per_run;
-    ++table_batches;
+    const std::size_t run_begin = chunk_begin * runs_per_chunk;
+    const std::size_t run_end =
+        std::min(runs_per_group, chunk_end * runs_per_chunk);
+    total_cycles += (run_end - run_begin) * cycles_per_run;
+    simulations_done += (run_end - run_begin) * observations_per_run;
   };
 
-  // Split the probe sets into batches whose contingency tables fit the
-  // memory budget, re-running the simulation per batch (the simulation is
-  // cheap next to table accumulation, and the chunk seeds make passes
-  // identical). Each worker holds its own in-flight chunk tables, so the
-  // per-batch share of the budget shrinks with the thread count.
-  // Master and chunk tables are both flat (two 64-bit counts per direct
-  // slot, ~3 words per hashed slot at half load). 64 bytes/bin covers the
-  // master plus one in-flight flat chunk table.
-  constexpr std::size_t kBytesPerBin = 64;
-  const std::size_t samples_total = 2 * runs_per_group * observations_per_run;
-  const std::size_t batch_budget = std::max<std::size_t>(
-      options.table_memory_budget / (std::size_t{threads} + 1), kBytesPerBin);
-  {
-    std::size_t begin = 0;
-    while (begin < prepared.size()) {
-      std::size_t end = begin;
-      std::size_t budget_used = 0;
-      while (end < prepared.size()) {
-        const PreparedSet& set = prepared[end];
-        std::size_t est_bins = options.max_bins_per_set;
-        if (set.compacted) {
-          est_bins = std::min<std::size_t>(est_bins, 1024);
-        } else if (set.observation_bits < 40) {
-          est_bins = std::min<std::size_t>(
-              est_bins, std::size_t{1} << set.observation_bits);
-        }
-        est_bins = std::min(est_bins, samples_total);
-        std::size_t bytes = est_bins * kBytesPerBin;
-        if (set.direct_table)  // master + chunk table materialize the space
-          bytes = std::max<std::size_t>(
-              bytes, std::size_t{32} << set.observation_bits);
-        if (end > begin && budget_used + bytes > batch_budget) break;
-        budget_used += bytes;
-        ++end;
+  const double threshold = ttest ? stats::kTvlaThreshold : options.threshold;
+  const bool early_stop_enabled = options.early_stop_stages > 0;
+  // Interim statistics cost a g_test per set per stage; skip them when
+  // nobody observes them (no stage callback, no early stopping).
+  const bool want_interim = early_stop_enabled || bool(options.on_stage);
+  const bool checkpointing = !options.checkpoint_path.empty();
+
+  auto save_snapshot = [&](std::size_t batch_index, std::size_t stages_done,
+                           bool is_complete) {
+    CampaignSnapshot snap;
+    snap.fingerprint = fingerprint;
+    snap.num_chunks = num_chunks;
+    snap.batches_total = batch_ranges.size();
+    snap.batch_index = batch_index;
+    snap.stages_done = stages_done;
+    snap.streak = streak;
+    snap.early_stopped = early_stopped;
+    snap.complete = is_complete;
+    snap.total_cycles = total_cycles;
+    snap.simulations_done = simulations_done;
+    snap.simulate_seconds = simulate_seconds;
+    snap.accumulate_seconds = accumulate_seconds;
+    snap.merge_seconds = merge_seconds;
+    snap.finished = finished;
+    if (stages_done > 0 && batch_index < batch_ranges.size()) {
+      const auto [bb, be] = batch_ranges[batch_index];
+      snap.sets.reserve(be - bb);
+      for (std::size_t si = bb; si < be; ++si) {
+        SetSnapshot set;
+        set.has_table = !ttest;
+        if (ttest)
+          set.moments = prepared[si].moments;
+        else
+          set.table = prepared[si].table;
+        snap.sets.push_back(std::move(set));
       }
-      simulate_into(begin, end);
-      // Release the batch's table memory once its statistics are final.
-      for (std::size_t i = begin; i < end; ++i) {
-        ProbeSetResult r;
-        r.name = std::move(prepared[i].name);
-        r.representatives = std::move(prepared[i].representatives);
-        r.observation_bits = prepared[i].observation_bits;
-        r.compacted = prepared[i].compacted;
-        if (ttest) {
-          r.t = stats::welch_t_test(prepared[i].moments[0],
-                                    prepared[i].moments[1]);
-          r.severity = std::abs(r.t.t);
-        } else {
-          r.g = prepared[i].table.g_test();
-          prepared[i].table = stats::FlatCountTable();
-          r.severity = r.g.minus_log10_p;
-        }
-        r.minus_log10_p = r.severity;
-        finished.push_back(std::move(r));
-      }
-      begin = end;
     }
+    save_checkpoint(options.checkpoint_path, snap);
+  };
+
+  // Severity over the batches finalized so far (including any restored from
+  // a snapshot) — the baseline every stage's interim statistics extend.
+  double finished_max = 0.0;
+  std::size_t finished_leaks = 0;
+  std::string finished_worst;
+  for (const ProbeSetResult& r : finished) {
+    if (r.severity > finished_max) {
+      finished_max = r.severity;
+      finished_worst = r.name;
+    }
+    if (r.severity > threshold) ++finished_leaks;
+  }
+
+  std::size_t stages_completed = resume_batch * stages_total + resume_stages;
+  unsigned stages_run_here = 0;
+  bool interrupted = false;
+
+  auto emit_stage = [&](std::size_t stage, std::size_t batch, double cur_max,
+                        const std::string& worst, std::size_t leaks,
+                        double stage_secs, bool saved) {
+    if (!options.on_stage) return;
+    StageReport rep;
+    rep.stage = stage;
+    rep.stages_total = stages_total;
+    rep.batch = batch + 1;
+    rep.batches_total = batch_ranges.size();
+    const std::size_t runs_done =
+        std::min(runs_per_group, stage_bounds[stage] * runs_per_chunk);
+    const std::size_t runs_prev =
+        std::min(runs_per_group, stage_bounds[stage - 1] * runs_per_chunk);
+    rep.simulations_done = runs_done * observations_per_run;
+    rep.simulations_total = runs_per_group * observations_per_run;
+    rep.max_minus_log10_p = cur_max;
+    rep.worst_set = worst;
+    rep.leaking_sets = leaks;
+    rep.pass_so_far = leaks == 0;
+    rep.stage_seconds = stage_secs;
+    rep.sims_per_second =
+        stage_secs > 0.0
+            ? 2.0 * static_cast<double>((runs_done - runs_prev) *
+                                        observations_per_run) /
+                  stage_secs
+            : 0.0;
+    rep.simulate_seconds = simulate_seconds;
+    rep.accumulate_seconds = accumulate_seconds;
+    rep.merge_seconds = merge_seconds;
+    rep.early_stopped = early_stopped;
+    if (saved) rep.checkpoint_path = options.checkpoint_path;
+    options.on_stage(rep);
+  };
+
+  for (std::size_t b = resume_batch;
+       b < batch_ranges.size() && !complete && !interrupted && !early_stopped;
+       ++b) {
+    const auto [set_begin, set_end] = batch_ranges[b];
+    const std::size_t first_stage = b == resume_batch ? resume_stages : 0;
+    std::size_t final_stage = stages_total;
+    double last_stage_secs = 0.0;
+    for (std::size_t s = first_stage; s < stages_total; ++s) {
+      const auto stage_start = std::chrono::steady_clock::now();
+      simulate_into(set_begin, set_end, stage_bounds[s], stage_bounds[s + 1]);
+      const double stage_secs = seconds_since(stage_start);
+      last_stage_secs = stage_secs;
+      ++stages_completed;
+      ++stages_run_here;
+
+      // Interim verdict-so-far over the current batch's master
+      // accumulators, on top of the finalized-batch baseline.
+      double cur_max = finished_max;
+      std::string worst = finished_worst;
+      std::size_t leaks = finished_leaks;
+      if (want_interim) {
+        for (std::size_t si = set_begin; si < set_end; ++si) {
+          const double sev =
+              ttest ? std::abs(stats::welch_t_test(prepared[si].moments[0],
+                                                   prepared[si].moments[1])
+                                   .t)
+                    : prepared[si].table.g_test().minus_log10_p;
+          if (sev > threshold) ++leaks;
+          if (sev > cur_max) {
+            cur_max = sev;
+            worst = prepared[si].name;
+          }
+        }
+        if (early_stop_enabled) {
+          if (cur_max > threshold + options.early_stop_margin)
+            ++streak;
+          else
+            streak = 0;
+          if (streak >= options.early_stop_stages) early_stopped = true;
+        }
+      }
+
+      if (s + 1 == stages_total || early_stopped) {
+        // Batch (or campaign) done: finalize below, then snapshot/report
+        // with exact statistics.
+        final_stage = s + 1;
+        break;
+      }
+      if (checkpointing) save_snapshot(b, s + 1, /*is_complete=*/false);
+      emit_stage(s + 1, b, cur_max, worst, leaks, stage_secs, checkpointing);
+      if (options.stop_after_stage &&
+          stages_run_here >= options.stop_after_stage) {
+        // Simulated kill: leave the snapshot on disk, return a partial
+        // result flagged `interrupted`.
+        interrupted = true;
+        break;
+      }
+    }
+    if (interrupted) break;
+
+    // Finalize the batch — under early stopping, from its partial counts —
+    // and release its table memory.
+    for (std::size_t i = set_begin; i < set_end; ++i) {
+      ProbeSetResult r;
+      r.name = std::move(prepared[i].name);
+      r.representatives = std::move(prepared[i].representatives);
+      r.observation_bits = prepared[i].observation_bits;
+      r.compacted = prepared[i].compacted;
+      if (ttest) {
+        r.t = stats::welch_t_test(prepared[i].moments[0],
+                                  prepared[i].moments[1]);
+        r.severity = std::abs(r.t.t);
+      } else {
+        r.g = prepared[i].table.g_test();
+        prepared[i].table = stats::FlatCountTable();
+        r.severity = r.g.minus_log10_p;
+      }
+      r.minus_log10_p = r.severity;
+      if (r.severity > finished_max) {
+        finished_max = r.severity;
+        finished_worst = r.name;
+      }
+      if (r.severity > threshold) ++finished_leaks;
+      finished.push_back(std::move(r));
+    }
+    ++table_batches;
+
+    const bool campaign_over =
+        early_stopped || b + 1 == batch_ranges.size();
+    if (checkpointing) save_snapshot(b + 1, 0, campaign_over);
+    emit_stage(final_stage, b, finished_max, finished_worst, finished_leaks,
+               last_stage_secs, checkpointing);
+    if (!campaign_over && options.stop_after_stage &&
+        stages_run_here >= options.stop_after_stage)
+      interrupted = true;
   }
 
   // --- statistics -------------------------------------------------------------------
@@ -724,8 +1046,13 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   result.simulate_seconds = simulate_seconds;
   result.accumulate_seconds = accumulate_seconds;
   result.merge_seconds = merge_seconds;
-  const double threshold =
-      ttest ? stats::kTvlaThreshold : options.threshold;
+  result.stages_total = stages_total;
+  result.stages_completed = stages_completed;
+  result.early_stopped = early_stopped;
+  result.interrupted = interrupted;
+  result.resumed = resumed;
+  result.simulations_done = simulations_done;
+  result.unevaluated_sets = prepared.size() - finished.size();
   for (ProbeSetResult& r : finished) {
     r.leaking = r.severity > threshold;
     if (r.leaking) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -41,6 +42,34 @@ enum class Accumulation {
   /// the equivalence oracle for the bit-sliced path (and exercised by
   /// tests), not for production use.
   kScalar,
+};
+
+/// Progress snapshot emitted after every completed evaluation stage (see
+/// CampaignOptions::stages). All statistics are cumulative over the stages
+/// completed so far; on the final stage of a batch they equal the exact
+/// finalized batch results.
+struct StageReport {
+  std::size_t stage = 0;         ///< 1-based index of the just-completed stage
+  std::size_t stages_total = 0;
+  std::size_t batch = 0;         ///< 1-based table batch being evaluated
+  std::size_t batches_total = 0;
+  /// Per-group observations accumulated so far in this batch's pass.
+  std::size_t simulations_done = 0;
+  std::size_t simulations_total = 0;  ///< per-group budget of a full pass
+  /// Worst severity so far across finalized batches and the current batch's
+  /// interim statistics (-log10(p) for the G-test, |t| for the t-test).
+  double max_minus_log10_p = 0.0;
+  std::string worst_set;         ///< name of the worst probe set so far
+  std::size_t leaking_sets = 0;  ///< sets over threshold so far
+  bool pass_so_far = true;
+  double stage_seconds = 0.0;    ///< wall time of this stage's simulation
+  double sims_per_second = 0.0;  ///< both groups, this stage, wall-clock
+  /// Cumulative per-phase CPU seconds (same meaning as in CampaignResult).
+  double simulate_seconds = 0.0;
+  double accumulate_seconds = 0.0;
+  double merge_seconds = 0.0;
+  bool early_stopped = false;    ///< this stage triggered early stopping
+  std::string checkpoint_path;   ///< non-empty if a snapshot was just saved
 };
 
 struct CampaignOptions {
@@ -103,6 +132,52 @@ struct CampaignOptions {
   /// covers the master tables plus every worker's in-flight chunk tables,
   /// so the per-batch share shrinks as the thread count grows.
   std::size_t table_memory_budget = std::size_t{4096} * 1024 * 1024;
+
+  // --- staged evaluation --------------------------------------------------
+
+  /// Number of evaluation stages the run budget is split into (0 = the
+  /// SCA_STAGES environment variable, else 1 = the classic all-or-nothing
+  /// run). Stages partition the fixed chunk grid, so a staged campaign is
+  /// bit-identical to an unstaged one: stage s covers chunks
+  /// [round(s/S * chunks), round((s+1)/S * chunks)) and the master
+  /// accumulators after the last stage are the same integer counts / the
+  /// same Welford FP operation sequence either way.
+  unsigned stages = 0;
+
+  /// Explicit stage schedule as cumulative budget fractions in (0, 1],
+  /// ascending, last == 1 (e.g. {0.1, 0.3, 1.0}). Overrides `stages`.
+  std::vector<double> stage_schedule;
+
+  /// Early stopping: abort once the worst severity has exceeded
+  /// threshold + early_stop_margin for this many *consecutive* stages
+  /// (0 disables). The current batch is finalized from its partial counts;
+  /// later batches are skipped and counted in unevaluated_sets.
+  unsigned early_stop_stages = 0;
+  double early_stop_margin = 0.0;
+
+  /// Path of the campaign snapshot. When non-empty, a versioned binary
+  /// checkpoint (master accumulators + cursor) is written atomically after
+  /// every stage; with `resume`, a matching snapshot at this path is loaded
+  /// and the campaign continues from its cursor, producing bit-identical
+  /// final statistics to an uninterrupted run for any thread count.
+  std::string checkpoint_path;
+
+  /// Resume from `checkpoint_path` if a snapshot exists there (a missing
+  /// file starts fresh; a corrupt or mismatched one throws common::Error).
+  bool resume = false;
+
+  /// Testing hook simulating a kill: stop after this many stages have run
+  /// *in this process* (0 = run to completion). The checkpoint stays on
+  /// disk and the partial result has `interrupted` set.
+  unsigned stop_after_stage = 0;
+
+  /// Called after every completed stage (in addition to checkpointing).
+  std::function<void(const StageReport&)> on_stage;
+
+  /// Null-calibration mode: the "fixed" group also draws fresh uniform
+  /// secrets, making the null hypothesis true by construction. Any verdict
+  /// above threshold is then a false positive of the statistic itself.
+  bool null_calibration = false;
 };
 
 struct ProbeSetResult {
@@ -143,6 +218,19 @@ struct CampaignResult {
   double merge_seconds = 0.0;
   ProbeModel model = ProbeModel::kGlitch;
   unsigned order = 1;
+  /// Staged-evaluation bookkeeping. stages_completed counts stages finished
+  /// across the whole campaign including any resumed-from snapshot; on an
+  /// uninterrupted single-batch run it equals stages_total.
+  std::size_t stages_total = 1;
+  std::size_t stages_completed = 0;
+  bool early_stopped = false;  ///< early stopping cut the budget short
+  bool interrupted = false;    ///< stop_after_stage fired; snapshot on disk
+  bool resumed = false;        ///< continued from a checkpoint
+  /// Per-group observations actually simulated, summed over every pass and
+  /// batch (equals simulations_per_group x table_batches when uninterrupted).
+  std::size_t simulations_done = 0;
+  /// Sets never evaluated because early stopping skipped their batches.
+  std::size_t unevaluated_sets = 0;
   /// All probe-set results, sorted by -log10(p) descending.
   std::vector<ProbeSetResult> results;
 

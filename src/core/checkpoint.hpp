@@ -1,0 +1,74 @@
+// Versioned binary snapshots of a staged campaign — the checkpoint/resume
+// machinery of run_fixed_vs_random.
+//
+// A snapshot freezes the campaign at a stage boundary: which table batches
+// are finalized (their exact ProbeSetResults), how many stages of the
+// in-progress batch have run (the chunk cursor), and the master accumulators
+// of that batch, bit-exact. No RNG state is stored — every chunk draws from
+// an independent stream seeded by chunk_seed(seed, chunk), so the cursor
+// alone determines every remaining draw. Because stages partition the fixed
+// chunk grid, a resumed campaign replays the identical merge sequence the
+// uninterrupted one would have run, for any thread count.
+//
+// On-disk format: an 8-byte magic, a version word, a length-prefixed
+// payload, and an FNV-1a checksum of the payload; writes go through a
+// temp file + rename so a crash mid-save never corrupts a previous good
+// snapshot. load_checkpoint throws common::Error on any truncation,
+// checksum mismatch, or malformed field — corrupted snapshots are rejected,
+// never interpreted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.hpp"
+#include "src/stats/gtest_stat.hpp"
+#include "src/stats/ttest.hpp"
+
+namespace sca::eval {
+
+/// Master accumulators of one probe set of the in-progress batch.
+struct SetSnapshot {
+  bool has_table = false;  ///< G-test set (table) vs t-test set (moments)
+  stats::FlatCountTable table;
+  std::array<stats::MomentAccumulator, 2> moments;
+};
+
+/// Everything needed to continue a staged campaign from a stage boundary.
+struct CampaignSnapshot {
+  /// FNV-1a fingerprint of the campaign configuration (seed, budget, chunk
+  /// grid, stage schedule, batch ranges, probe-set names, ...). Resume
+  /// refuses a snapshot whose fingerprint does not match the options —
+  /// thread count and accumulation regime are deliberately excluded, since
+  /// both are bit-identical by contract and resuming across them is sound.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t num_chunks = 0;
+  std::uint64_t batches_total = 0;
+  std::uint64_t batch_index = 0;  ///< batches fully finalized so far
+  std::uint64_t stages_done = 0;  ///< stages finished in the current batch
+  std::uint64_t streak = 0;       ///< consecutive over-margin stages so far
+  bool early_stopped = false;
+  bool complete = false;  ///< campaign finished; resume returns immediately
+  // Cumulative counters, so a resumed result reports whole-campaign totals.
+  std::uint64_t total_cycles = 0;
+  std::uint64_t simulations_done = 0;
+  double simulate_seconds = 0.0;
+  double accumulate_seconds = 0.0;
+  double merge_seconds = 0.0;
+  /// Exact results of the finalized batches, in evaluation order.
+  std::vector<ProbeSetResult> finished;
+  /// Master accumulators of the in-progress batch (empty when stages_done
+  /// is 0 or the snapshot is a batch boundary).
+  std::vector<SetSnapshot> sets;
+};
+
+/// Atomically writes `snapshot` to `path` (temp file + rename).
+void save_checkpoint(const std::string& path, const CampaignSnapshot& snapshot);
+
+/// Loads a snapshot; throws common::Error if the file is missing, truncated,
+/// checksum-corrupt, or structurally malformed.
+CampaignSnapshot load_checkpoint(const std::string& path);
+
+}  // namespace sca::eval

@@ -1,9 +1,40 @@
 #include "src/core/report.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
 namespace sca::eval {
+
+namespace {
+
+// Minimal JSON string escaping — probe-set names only contain identifier
+// characters, dots, '&' and spaces, but a correct writer costs nothing.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string verdict_line(const CampaignResult& result) {
   std::ostringstream os;
@@ -37,6 +68,92 @@ std::string to_string(const CampaignResult& result, std::size_t top_n) {
        << "\n";
   }
   return os.str();
+}
+
+std::string stage_line(const StageReport& report) {
+  std::ostringstream os;
+  os << "stage " << report.stage << "/" << report.stages_total;
+  if (report.batches_total > 1)
+    os << " (batch " << report.batch << "/" << report.batches_total << ")";
+  os << ": " << report.simulations_done << "/" << report.simulations_total
+     << " sims, max = " << std::fixed << std::setprecision(2)
+     << report.max_minus_log10_p;
+  if (!report.worst_set.empty()) os << " (" << report.worst_set << ")";
+  os << ", " << report.leaking_sets
+     << (report.leaking_sets == 1 ? " leak" : " leaks");
+  if (report.sims_per_second > 0.0)
+    os << ", " << std::setprecision(0) << report.sims_per_second << " sims/s";
+  if (report.early_stopped) os << "  [early stop]";
+  return os.str();
+}
+
+std::string to_json(const StageReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6);
+  os << "{\"stage\":" << report.stage
+     << ",\"stages_total\":" << report.stages_total
+     << ",\"batch\":" << report.batch
+     << ",\"batches_total\":" << report.batches_total
+     << ",\"simulations_done\":" << report.simulations_done
+     << ",\"simulations_total\":" << report.simulations_total
+     << ",\"max_minus_log10_p\":" << report.max_minus_log10_p
+     << ",\"worst_set\":\"" << json_escape(report.worst_set) << "\""
+     << ",\"leaking_sets\":" << report.leaking_sets
+     << ",\"pass_so_far\":" << (report.pass_so_far ? "true" : "false")
+     << ",\"stage_seconds\":" << report.stage_seconds
+     << ",\"sims_per_second\":" << report.sims_per_second
+     << ",\"simulate_seconds\":" << report.simulate_seconds
+     << ",\"accumulate_seconds\":" << report.accumulate_seconds
+     << ",\"merge_seconds\":" << report.merge_seconds
+     << ",\"early_stopped\":" << (report.early_stopped ? "true" : "false")
+     << ",\"checkpoint\":\"" << json_escape(report.checkpoint_path) << "\"}";
+  return os.str();
+}
+
+std::string to_json(const CampaignResult& result, std::size_t top_n) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6);
+  os << "{\"pass\":" << (result.pass ? "true" : "false")
+     << ",\"statistic\":\""
+     << (result.statistic == Statistic::kWelchTTest ? "ttest" : "gtest")
+     << "\""
+     << ",\"max_minus_log10_p\":" << result.max_minus_log10_p
+     << ",\"leaking_sets\":" << result.leaking_sets
+     << ",\"total_sets\":" << result.total_sets
+     << ",\"unevaluated_sets\":" << result.unevaluated_sets
+     << ",\"simulations_per_group\":" << result.simulations_per_group
+     << ",\"simulations_done\":" << result.simulations_done
+     << ",\"stages_total\":" << result.stages_total
+     << ",\"stages_completed\":" << result.stages_completed
+     << ",\"early_stopped\":" << (result.early_stopped ? "true" : "false")
+     << ",\"interrupted\":" << (result.interrupted ? "true" : "false")
+     << ",\"resumed\":" << (result.resumed ? "true" : "false")
+     << ",\"threads\":" << result.threads_used
+     << ",\"table_batches\":" << result.table_batches
+     << ",\"simulate_seconds\":" << result.simulate_seconds
+     << ",\"accumulate_seconds\":" << result.accumulate_seconds
+     << ",\"merge_seconds\":" << result.merge_seconds << ",\"top\":[";
+  bool first = true;
+  for (const ProbeSetResult* r : result.top(top_n)) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(r->name) << "\""
+       << ",\"minus_log10_p\":" << r->minus_log10_p
+       << ",\"bits\":" << r->observation_bits
+       << ",\"compacted\":" << (r->compacted ? "true" : "false")
+       << ",\"leaking\":" << (r->leaking ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void default_stage_sink(const StageReport& report) {
+  std::printf("%s\n", stage_line(report).c_str());
+  std::fflush(stdout);
+  if (const char* path = std::getenv("SCA_STAGE_JSON")) {
+    std::ofstream os(path, std::ios::app);
+    if (os.good()) os << to_json(report) << "\n";
+  }
 }
 
 }  // namespace sca::eval

@@ -15,4 +15,21 @@ std::string to_string(const CampaignResult& result, std::size_t top_n = 10);
 /// One-line verdict: "PASS (max -log10(p) = 1.32 over 107 probe sets)".
 std::string verdict_line(const CampaignResult& result);
 
+/// One-line progress report of a completed evaluation stage:
+/// "stage 3/10: 60000/200000 sims, max -log10(p) = 5.21 (sbox...), 1 leak".
+std::string stage_line(const StageReport& report);
+
+/// Single-line JSON object of a stage report, for machine-readable
+/// progress streams (one object per line).
+std::string to_json(const StageReport& report);
+
+/// Single-line JSON object of a campaign result with its `top_n` worst
+/// probe sets inlined.
+std::string to_json(const CampaignResult& result, std::size_t top_n = 10);
+
+/// Ready-made CampaignOptions::on_stage sink: prints stage_line() to
+/// stdout and, when the SCA_STAGE_JSON environment variable names a file,
+/// appends to_json() as one line to it.
+void default_stage_sink(const StageReport& report);
+
 }  // namespace sca::eval

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "src/common/check.hpp"
+#include "src/common/serialize.hpp"
 #include "src/stats/pvalue.hpp"
 
 namespace sca::stats {
@@ -196,6 +199,45 @@ GTestResult ContingencyTable::g_test(double min_expected) const {
   cols.reserve(counts_.size());
   for (const auto& [key, cnt] : counts_) cols.push_back(cnt);
   return g_test_on_columns(std::move(cols), min_expected);
+}
+
+void ContingencyTable::serialize(std::ostream& os) const {
+  common::write_u64(os, bin_limit_);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(counts_.size());
+  for (const auto& [key, cnt] : counts_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  common::write_u64(os, keys.size());
+  for (std::uint64_t key : keys) {
+    const auto& cnt = counts_.at(key);
+    common::write_u64(os, key);
+    common::write_u64(os, cnt[0]);
+    common::write_u64(os, cnt[1]);
+  }
+}
+
+ContingencyTable ContingencyTable::deserialize(std::istream& is) {
+  ContingencyTable table;
+  table.bin_limit_ = common::read_u64(is);
+  const std::uint64_t nkeys = common::read_u64(is);
+  // A saturated table holds bin_limit_ resident keys plus the overflow bin
+  // (the add() pooling check fires strictly after the limit is reached).
+  common::require(nkeys == 0 || nkeys - 1 <= table.bin_limit_,
+                  "ContingencyTable: snapshot exceeds its own bin limit");
+  table.counts_.reserve(static_cast<std::size_t>(nkeys));
+  for (std::uint64_t i = 0; i < nkeys; ++i) {
+    const std::uint64_t key = common::read_u64(is);
+    const std::uint64_t c0 = common::read_u64(is);
+    const std::uint64_t c1 = common::read_u64(is);
+    common::require(table.counts_.emplace(key, std::array<std::uint64_t, 2>{
+                                                   c0, c1}).second,
+                    "ContingencyTable: duplicate key in snapshot");
+  }
+  return table;
+}
+
+bool ContingencyTable::operator==(const ContingencyTable& other) const {
+  return bin_limit_ == other.bin_limit_ && counts_ == other.counts_;
 }
 
 // --- FlatCountTable -----------------------------------------------------------
@@ -469,6 +511,96 @@ std::uint64_t FlatCountTable::group_total(int group) const {
         total += counts_[2 * slot + static_cast<std::size_t>(group)];
   }
   return total;
+}
+
+void FlatCountTable::serialize(std::ostream& os) const {
+  common::write_u8(os, direct_bits_ >= 0 ? 1 : 0);
+  common::write_u8(os, direct_bits_ >= 0
+                           ? static_cast<std::uint8_t>(direct_bits_)
+                           : 0);
+  common::write_u64(os, bin_limit_);
+  common::write_u8(os, overflow_used_ ? 1 : 0);
+  common::write_u64(os, overflow_[0]);
+  common::write_u64(os, overflow_[1]);
+  // Resident keys in ascending order (sorted_keys() appends the overflow
+  // bin, which is stored separately above — skip it here).
+  std::vector<std::uint64_t> keys = sorted_keys();
+  if (!keys.empty() && keys.back() == kOverflowKey) keys.pop_back();
+  common::write_u64(os, keys.size());
+  for (std::uint64_t key : keys) {
+    const auto cnt = counts_for(key);
+    common::write_u64(os, key);
+    common::write_u64(os, cnt[0]);
+    common::write_u64(os, cnt[1]);
+  }
+}
+
+FlatCountTable FlatCountTable::deserialize(std::istream& is) {
+  FlatCountTable table;
+  const bool direct = common::read_u8(is) != 0;
+  const unsigned direct_bits = common::read_u8(is);
+  table.bin_limit_ = common::read_u64(is);
+  table.overflow_used_ = common::read_u8(is) != 0;
+  table.overflow_[0] = common::read_u64(is);
+  table.overflow_[1] = common::read_u64(is);
+  const std::uint64_t nkeys = common::read_u64(is);
+  if (direct) {
+    common::require(direct_bits <= 30 &&
+                        (std::size_t{1} << direct_bits) <= table.bin_limit_,
+                    "FlatCountTable: malformed direct snapshot header");
+    common::require(!table.overflow_used_,
+                    "FlatCountTable: direct snapshot cannot pool");
+    common::require(nkeys <= (std::uint64_t{1} << direct_bits),
+                    "FlatCountTable: direct snapshot overfull");
+    table.init_direct(direct_bits);
+    for (std::uint64_t i = 0; i < nkeys; ++i) {
+      const std::uint64_t key = common::read_u64(is);
+      common::require(key < (std::uint64_t{1} << direct_bits),
+                      "FlatCountTable: snapshot key outside direct space");
+      const std::uint64_t c0 = common::read_u64(is);
+      const std::uint64_t c1 = common::read_u64(is);
+      table.direct_counts_[2 * static_cast<std::size_t>(key)] = c0;
+      table.direct_counts_[2 * static_cast<std::size_t>(key) + 1] = c1;
+    }
+    return table;
+  }
+  // As with ContingencyTable, a saturated table can hold one bin past the
+  // limit (bin_limit_ resident keys plus the pooled overflow bin).
+  const std::uint64_t total_bins = nkeys + (table.overflow_used_ ? 1 : 0);
+  common::require(total_bins == 0 || total_bins - 1 <= table.bin_limit_,
+                  "FlatCountTable: snapshot exceeds its own bin limit");
+  table.reserve(static_cast<std::size_t>(nkeys));
+  std::uint64_t prev_key = 0;
+  for (std::uint64_t i = 0; i < nkeys; ++i) {
+    const std::uint64_t key = common::read_u64(is);
+    common::require(key != kOverflowKey,
+                    "FlatCountTable: overflow key stored as resident");
+    common::require(i == 0 || key > prev_key,
+                    "FlatCountTable: snapshot keys not strictly ascending");
+    prev_key = key;
+    const std::uint64_t c0 = common::read_u64(is);
+    const std::uint64_t c1 = common::read_u64(is);
+    // Direct slot insertion (bypassing add's pooling check, which must not
+    // re-trigger while restoring an already-pooled table).
+    if (2 * (table.used_slots_ + 1) > table.keys_.size()) table.grow();
+    const std::size_t slot = table.find_slot(key);
+    table.keys_[slot] = key;
+    table.counts_[2 * slot] = c0;
+    table.counts_[2 * slot + 1] = c1;
+    ++table.used_slots_;
+  }
+  return table;
+}
+
+bool FlatCountTable::operator==(const FlatCountTable& other) const {
+  if (direct_bits_ != other.direct_bits_ || bin_limit_ != other.bin_limit_ ||
+      overflow_used_ != other.overflow_used_ || overflow_ != other.overflow_)
+    return false;
+  const std::vector<std::uint64_t> keys = sorted_keys();
+  if (keys != other.sorted_keys()) return false;
+  for (std::uint64_t key : keys)
+    if (counts_for(key) != other.counts_for(key)) return false;
+  return true;
 }
 
 void FlatCountTable::clear() {

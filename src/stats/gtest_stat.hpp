@@ -10,6 +10,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -75,6 +76,15 @@ class ContingencyTable {
   counts() const {
     return counts_;
   }
+
+  /// Binary snapshot of the accumulated counts (ascending key order, so the
+  /// byte stream is canonical). deserialize() restores a table whose future
+  /// add/merge/g_test behavior is identical to the original's.
+  void serialize(std::ostream& os) const;
+  static ContingencyTable deserialize(std::istream& is);
+
+  /// Logical equality: same bin limit, same keys, same per-group counts.
+  bool operator==(const ContingencyTable& other) const;
 
  private:
   std::unordered_map<std::uint64_t, std::array<std::uint64_t, 2>> counts_;
@@ -163,6 +173,24 @@ class FlatCountTable {
   /// Drops all counts but keeps the storage mode and capacity — per-chunk
   /// accumulators are recycled across chunks.
   void clear();
+
+  /// Binary snapshot: storage mode, bin limit, overflow bin, then every
+  /// resident (key, counts) triple in ascending key order. The canonical
+  /// order makes the byte stream a pure function of the logical contents.
+  void serialize(std::ostream& os) const;
+
+  /// Restores a table from serialize()'s stream. The resident key set, the
+  /// counts, the storage mode, and the bin limit all round-trip exactly, so
+  /// every future add/merge/g_test on the restored table is bit-identical
+  /// to the same operations on the original — the checkpoint/resume
+  /// contract of the campaign engine. Throws common::Error on truncated or
+  /// malformed input.
+  static FlatCountTable deserialize(std::istream& is);
+
+  /// Logical equality: same mode, bin limit, resident keys, counts, and
+  /// overflow bin. Slot layout (hash capacity) is excluded — it never
+  /// affects observable behavior.
+  bool operator==(const FlatCountTable& other) const;
 
   bool direct_mode() const { return direct_bits_ >= 0; }
 

@@ -1,6 +1,11 @@
 #include "src/stats/ttest.hpp"
 
+#include <bit>
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "src/common/serialize.hpp"
 
 namespace sca::stats {
 
@@ -40,6 +45,28 @@ void MomentAccumulator::merge(const MomentAccumulator& other) {
                          static_cast<double>(other.n_) / total;
   mean_ += delta * static_cast<double>(other.n_) / total;
   n_ += other.n_;
+}
+
+void MomentAccumulator::serialize(std::ostream& os) const {
+  common::write_u64(os, n_);
+  common::write_f64(os, mean_);
+  common::write_f64(os, m2_);
+}
+
+MomentAccumulator MomentAccumulator::deserialize(std::istream& is) {
+  MomentAccumulator acc;
+  acc.n_ = common::read_u64(is);
+  acc.mean_ = common::read_f64(is);
+  acc.m2_ = common::read_f64(is);
+  return acc;
+}
+
+bool MomentAccumulator::operator==(const MomentAccumulator& other) const {
+  return n_ == other.n_ &&
+         std::bit_cast<std::uint64_t>(mean_) ==
+             std::bit_cast<std::uint64_t>(other.mean_) &&
+         std::bit_cast<std::uint64_t>(m2_) ==
+             std::bit_cast<std::uint64_t>(other.m2_);
 }
 
 double MomentAccumulator::variance() const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 
 namespace sca::stats {
 
@@ -32,6 +33,15 @@ class MomentAccumulator {
   double mean() const { return mean_; }
   /// Unbiased sample variance; 0 for fewer than two samples.
   double variance() const;
+
+  /// Binary snapshot of the raw Welford state (n, mean, M2), doubles as
+  /// IEEE-754 bit patterns. deserialize() restores a bit-exact copy — the
+  /// t-test path's requirement for resume == uninterrupted.
+  void serialize(std::ostream& os) const;
+  static MomentAccumulator deserialize(std::istream& is);
+
+  /// Bit-exact state equality (n, mean bits, M2 bits).
+  bool operator==(const MomentAccumulator& other) const;
 
  private:
   std::uint64_t n_ = 0;

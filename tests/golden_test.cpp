@@ -1,0 +1,185 @@
+// Golden-verdict regression suite: the paper's E1–E8 verdicts from
+// EXPERIMENTS.md, asserted at small seeded budgets so CI catches any
+// statistic, gadget, or probe-model regression. Every campaign here is
+// deterministic (fixed seed, fixed budget, thread-count independent), so
+// these are exact golden values, not statistical expectations:
+//
+//   E1  Sbox w/o Kronecker, fixed 0x01, glitch model      -> PASS
+//   E2  Sbox w/ Kronecker + Eq.(6), fixed 0x00            -> FAIL, all
+//       leaking probe sets localized in sbox.kron.G7.* (Fig. 3)
+//   E3  7 fresh masks                                     -> PASS; exact
+//       verifier secure over all 107 unique probes
+//   E4  single reuse r1 = r3                              -> leaks,
+//       worst probe kron.G7.inner0, TV distance exactly 0.125
+//   E5  pair reuse r1 = r3, r2 = r4                       -> TV 0.375
+//   E6  Eq.(9) (4 fresh bits)                             -> secure (exact
+//       and sampled)
+//   E7  r5 = r6                                           -> leaks, TV 0.5
+//   E8  glitch+transition: Eq.(9) fails; r7 = r1..r4 secure, r7 = r5/r6
+//       leak; minimum fresh bits = 6
+//
+// Plus the null-calibration guard: a random-vs-random campaign must stay
+// under the 7.0 threshold on every probe set.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "src/core/campaign.hpp"
+#include "src/core/search.hpp"
+#include "src/verif/exact.hpp"
+
+namespace sca::eval {
+namespace {
+
+using gadgets::MaskedSboxOptions;
+using gadgets::RandomnessPlan;
+
+// Small-budget goldens: E2's leak scales linearly with the budget (~72 at
+// 20 k sims vs 723 at 200 k), while null maxima are budget-independent, so
+// 20 k separates PASS from FAIL by an order of magnitude.
+constexpr std::size_t kSims = 20'000;
+
+TEST(GoldenVerdicts, E1SboxWithoutKroneckerPasses) {
+  MaskedSboxOptions options;
+  options.include_kronecker = false;
+  const CampaignResult result =
+      benchutil::run_sbox(options, 0x01, ProbeModel::kGlitch, kSims);
+  EXPECT_TRUE(result.pass);
+  EXPECT_EQ(result.leaking_sets, 0u);
+  EXPECT_LT(result.max_minus_log10_p, 7.0);
+}
+
+TEST(GoldenVerdicts, E2KroneckerEq6FailsLocalizedInG7) {
+  MaskedSboxOptions options;
+  options.kron_plan = RandomnessPlan::kron1_demeyer_eq6();
+  const CampaignResult result =
+      benchutil::run_sbox(options, 0x00, ProbeModel::kGlitch, kSims);
+  EXPECT_FALSE(result.pass);
+  EXPECT_GT(result.max_minus_log10_p, 30.0);  // ~72 at this budget
+  // Fig. 3's localization: every leaking probe set sits inside the
+  // Kronecker gate G7, and the worst one is among them.
+  ASSERT_GT(result.leaking_sets, 0u);
+  for (const auto& r : result.results) {
+    if (!r.leaking) continue;
+    EXPECT_NE(r.name.find("sbox.kron.G7."), std::string::npos) << r.name;
+  }
+  EXPECT_NE(result.results.front().name.find("sbox.kron.G7."),
+            std::string::npos);
+}
+
+TEST(GoldenVerdicts, E3FreshMasksPassSampledAndExact) {
+  MaskedSboxOptions options;
+  options.kron_plan = RandomnessPlan::kron1_full_fresh();
+  const CampaignResult sampled =
+      benchutil::run_sbox(options, 0x00, ProbeModel::kGlitch, kSims);
+  EXPECT_TRUE(sampled.pass);
+
+  const verif::ExactReport exact = verif::verify_first_order_glitch(
+      benchutil::kronecker_netlist(RandomnessPlan::kron1_full_fresh()));
+  EXPECT_FALSE(exact.any_leak);
+  EXPECT_FALSE(exact.any_skipped);
+  EXPECT_EQ(exact.probes_total, 107u);
+}
+
+TEST(GoldenVerdicts, E4SingleReuseLeaksWithTvOneEighth) {
+  const verif::ExactReport report = verif::verify_first_order_glitch(
+      benchutil::kronecker_netlist(RandomnessPlan::kron1_single_reuse_r1r3()));
+  ASSERT_TRUE(report.any_leak);
+  double worst_tv = 0.0;
+  std::string worst_name;
+  for (const auto* leak : report.leaking()) {
+    if (leak->max_tv_distance > worst_tv) {
+      worst_tv = leak->max_tv_distance;
+      worst_name = leak->name;
+    }
+  }
+  EXPECT_DOUBLE_EQ(worst_tv, 0.125);  // exact rational from enumeration
+  EXPECT_EQ(worst_name, "kron.G7.inner0");
+}
+
+TEST(GoldenVerdicts, E5PairReuseIsStrictlyMoreSevere) {
+  const verif::ExactReport report = verif::verify_first_order_glitch(
+      benchutil::kronecker_netlist(RandomnessPlan::kron1_pair_reuse()));
+  ASSERT_TRUE(report.any_leak);
+  double worst_tv = 0.0;
+  for (const auto* leak : report.leaking())
+    worst_tv = std::max(worst_tv, leak->max_tv_distance);
+  EXPECT_DOUBLE_EQ(worst_tv, 0.375);
+}
+
+TEST(GoldenVerdicts, E6ProposedEq9IsSecure) {
+  const verif::ExactReport exact = verif::verify_first_order_glitch(
+      benchutil::kronecker_netlist(RandomnessPlan::kron1_proposed_eq9()));
+  EXPECT_FALSE(exact.any_leak);
+  EXPECT_FALSE(exact.any_skipped);
+
+  MaskedSboxOptions options;
+  options.kron_plan = RandomnessPlan::kron1_proposed_eq9();
+  const CampaignResult sampled =
+      benchutil::run_sbox(options, 0x00, ProbeModel::kGlitch, kSims);
+  EXPECT_TRUE(sampled.pass);
+}
+
+TEST(GoldenVerdicts, E7R5EqualsR6LeaksWithTvOneHalf) {
+  const verif::ExactReport report = verif::verify_first_order_glitch(
+      benchutil::kronecker_netlist(RandomnessPlan::kron1_r5_equals_r6()));
+  ASSERT_TRUE(report.any_leak);
+  double worst_tv = 0.0;
+  for (const auto* leak : report.leaking())
+    worst_tv = std::max(worst_tv, leak->max_tv_distance);
+  EXPECT_DOUBLE_EQ(worst_tv, 0.5);
+
+  const CampaignResult sampled = benchutil::run_kronecker(
+      RandomnessPlan::kron1_r5_equals_r6(), ProbeModel::kGlitch, kSims);
+  EXPECT_FALSE(sampled.pass);
+}
+
+TEST(GoldenVerdicts, E8TransitionSearchFindsTheFourSolutions) {
+  const CampaignResult eq9 = benchutil::run_kronecker(
+      RandomnessPlan::kron1_proposed_eq9(), ProbeModel::kGlitchTransition,
+      kSims);
+  EXPECT_FALSE(eq9.pass);  // Eq.(9) breaks once transitions are modeled
+
+  SearchOptions options;
+  options.model = ProbeModel::kGlitchTransition;
+  options.simulations = kSims;
+  const SearchResult search = search_r7_reuse(options);
+  ASSERT_EQ(search.evaluations.size(), 7u);
+  EXPECT_TRUE(search.evaluations[0].secure);  // 7 fresh baseline
+  for (int i = 1; i <= 4; ++i)
+    EXPECT_TRUE(search.evaluations[i].secure) << "r7 = r" << i;
+  EXPECT_FALSE(search.evaluations[5].secure);  // r7 = r5
+  EXPECT_FALSE(search.evaluations[6].secure);  // r7 = r6
+  EXPECT_EQ(search.min_secure_fresh(), 6u);
+}
+
+// Null calibration: with the fixed group drawing random secrets too, the
+// null hypothesis is true by construction — a verdict above 7.0 would be a
+// false positive of the G-test/Williams-correction path itself. The max
+// over N probe sets should behave like the max of N null p-values
+// (~log10(N) ~ 3), far below the threshold.
+TEST(GoldenVerdicts, NullCalibrationProducesNoVerdicts) {
+  netlist::Netlist nl;
+  gadgets::MaskedSboxOptions sbox_opts;
+  sbox_opts.kron_plan = RandomnessPlan::kron1_proposed_eq9();
+  const gadgets::MaskedSbox sbox = gadgets::build_masked_sbox(nl, sbox_opts);
+  CampaignOptions opts;
+  opts.model = ProbeModel::kGlitch;
+  opts.simulations = kSims;
+  opts.fixed_values[0] = 0x00;
+  opts.nonzero_random_buses = {sbox.rand_b2m};
+  opts.null_calibration = true;
+  const CampaignResult result = run_fixed_vs_random(nl, opts);
+  EXPECT_TRUE(result.pass);
+  EXPECT_EQ(result.leaking_sets, 0u);
+  EXPECT_LT(result.max_minus_log10_p, 7.0);
+  // Sanity: the campaign really evaluated the full probe universe and the
+  // statistics are alive (a max of exactly 0 would mean empty tables).
+  EXPECT_GT(result.total_sets, 500u);
+  EXPECT_GT(result.max_minus_log10_p, 0.1);
+}
+
+}  // namespace
+}  // namespace sca::eval

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/check.hpp"
 #include "src/common/rng.hpp"
 #include "src/stats/gtest_stat.hpp"
 #include "src/stats/pvalue.hpp"
@@ -458,6 +461,124 @@ TEST(FlatCountTable, ClearKeepsModeAndCapacity) {
   hashed.add(5, 0);
   EXPECT_EQ(direct.counts_for(5)[0], 1u);
   EXPECT_EQ(hashed.counts_for(5)[0], 1u);
+}
+
+// --- snapshot serialization round trips -------------------------------------
+//
+// The checkpoint/resume machinery depends on serialize() -> deserialize()
+// restoring accumulators whose future behavior is bit-identical to the
+// original — integer counts exactly, Welford moments bit-for-bit.
+
+TEST(Serialization, ContingencyTableRoundTrip) {
+  common::Xoshiro256 rng(7);
+  ContingencyTable table;
+  table.set_bin_limit(200);
+  for (int i = 0; i < 5000; ++i)
+    table.add(rng.below(400), static_cast<int>(rng.bit()));
+  std::ostringstream os;
+  table.serialize(os);
+  std::istringstream is(os.str());
+  const ContingencyTable restored = ContingencyTable::deserialize(is);
+  EXPECT_TRUE(table == restored);
+  // Restored table keeps accumulating identically (same pooling decisions).
+  ContingencyTable a = table, b = restored;
+  for (int i = 0; i < 500; ++i) {
+    a.add(static_cast<std::uint64_t>(i * 3), i % 2);
+    b.add(static_cast<std::uint64_t>(i * 3), i % 2);
+  }
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Serialization, FlatCountTableDirectRoundTrip) {
+  FlatCountTable table;
+  table.init_direct(10);
+  common::Xoshiro256 rng(11);
+  for (int i = 0; i < 3000; ++i)
+    table.add(rng.below(1024), static_cast<int>(rng.bit()));
+  std::ostringstream os;
+  table.serialize(os);
+  std::istringstream is(os.str());
+  const FlatCountTable restored = FlatCountTable::deserialize(is);
+  EXPECT_TRUE(restored.direct_mode());
+  EXPECT_TRUE(table == restored);
+  EXPECT_EQ(table.bin_count(), restored.bin_count());
+  for (std::uint64_t key = 0; key < 1024; ++key)
+    ASSERT_EQ(table.counts_for(key), restored.counts_for(key)) << key;
+}
+
+TEST(Serialization, FlatCountTableHashedRoundTripWithOverflow) {
+  FlatCountTable table;
+  table.set_bin_limit(64);  // forces pooling into the overflow bin
+  common::Xoshiro256 rng(13);
+  for (int i = 0; i < 4000; ++i)
+    table.add(rng.next() & 0xFFFF, static_cast<int>(rng.bit()));
+  std::ostringstream os;
+  table.serialize(os);
+  std::istringstream is(os.str());
+  const FlatCountTable restored = FlatCountTable::deserialize(is);
+  EXPECT_FALSE(restored.direct_mode());
+  EXPECT_TRUE(table == restored);
+  EXPECT_EQ(table.group_total(0), restored.group_total(0));
+  EXPECT_EQ(table.group_total(1), restored.group_total(1));
+  // Future adds pool identically: only already-resident keys get new bins.
+  FlatCountTable a = table, b = restored;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t key = rng.next() & 0xFFFF;
+    const int group = static_cast<int>(rng.bit());
+    a.add(key, group);
+    b.add(key, group);
+  }
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Serialization, MomentAccumulatorRoundTripIsBitExact) {
+  MomentAccumulator acc;
+  common::Xoshiro256 rng(17);
+  for (int i = 0; i < 1000; ++i)
+    acc.add_weighted(static_cast<double>(rng.below(256)), 1 + rng.below(7));
+  std::ostringstream os;
+  acc.serialize(os);
+  std::istringstream is(os.str());
+  MomentAccumulator restored = MomentAccumulator::deserialize(is);
+  EXPECT_TRUE(acc == restored);
+  // Continuing the Welford recurrence from the restored state stays
+  // bit-identical — the property resume depends on.
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(rng.below(256));
+    const std::uint64_t w = 1 + rng.below(7);
+    acc.add_weighted(x, w);
+    restored.add_weighted(x, w);
+  }
+  EXPECT_TRUE(acc == restored);
+}
+
+TEST(Serialization, TruncatedStreamsThrow) {
+  ContingencyTable ct;
+  ct.add(1, 0);
+  ct.add(2, 1);
+  FlatCountTable ft;
+  ft.add(10, 0);
+  ft.add(20, 1);
+  MomentAccumulator acc;
+  acc.add_weighted(1.5, 3);
+  std::ostringstream a, b, c;
+  ct.serialize(a);
+  ft.serialize(b);
+  acc.serialize(c);
+  for (const std::string& full : {a.str(), b.str(), c.str()})
+    ASSERT_GT(full.size(), 4u);
+  {
+    std::istringstream is(a.str().substr(0, a.str().size() - 3));
+    EXPECT_THROW(ContingencyTable::deserialize(is), common::Error);
+  }
+  {
+    std::istringstream is(b.str().substr(0, b.str().size() / 2));
+    EXPECT_THROW(FlatCountTable::deserialize(is), common::Error);
+  }
+  {
+    std::istringstream is(c.str().substr(0, 5));
+    EXPECT_THROW(MomentAccumulator::deserialize(is), common::Error);
+  }
 }
 
 }  // namespace
