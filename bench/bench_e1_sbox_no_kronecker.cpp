@@ -20,6 +20,12 @@ int main(int argc, char** argv) {
   std::printf("    (paper: 4M simulations; this run: %zu — set SCA_SIMS)\n\n",
               sims);
 
+  if (staging.lint)
+    std::printf("lint: skipped — without the Kronecker subtree the Sbox is "
+                "all\n      multiplicative/B2M logic, whose nonzero-"
+                "constrained randomness is\n      outside the linter's "
+                "uniform-mask model (see DESIGN.md)\n\n");
+
   gadgets::MaskedSboxOptions options;
   options.include_kronecker = false;
   const eval::CampaignResult result = benchutil::run_sbox(

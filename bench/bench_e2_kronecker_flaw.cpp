@@ -26,6 +26,20 @@ int main(int argc, char** argv) {
 
   gadgets::MaskedSboxOptions options;
   options.kron_plan = gadgets::RandomnessPlan::kron1_demeyer_eq6();
+
+  {
+    // Static pre-check: the linter localizes the Eq. (6) reuse in the
+    // Kronecker subtree before a single simulation runs. Scoped to
+    // "sbox.kron." — the rest of the Sbox uses nonzero-constrained
+    // randomness outside the linter's uniform-mask model (see DESIGN.md).
+    netlist::Netlist lint_nl;
+    gadgets::build_masked_sbox(lint_nl, options);
+    benchutil::lint_check(score, staging, lint_nl, eval::ProbeModel::kGlitch,
+                          "sbox.kron.",
+                          "linter flags Eq.(6) reuse inside the Kronecker",
+                          /*expect_flagged=*/true);
+  }
+
   const eval::CampaignResult result = benchutil::run_sbox(
       options, /*fixed_value=*/0x00, eval::ProbeModel::kGlitch, sims, staging);
   if (result.interrupted) {

@@ -21,6 +21,16 @@ int main(int argc, char** argv) {
 
   gadgets::MaskedSboxOptions options;
   options.kron_plan = gadgets::RandomnessPlan::kron1_full_fresh();
+
+  {
+    netlist::Netlist lint_nl;
+    gadgets::build_masked_sbox(lint_nl, options);
+    benchutil::lint_check(score, staging, lint_nl, eval::ProbeModel::kGlitch,
+                          "sbox.kron.",
+                          "linter clears the full-fresh Kronecker",
+                          /*expect_flagged=*/false);
+  }
+
   const eval::CampaignResult sampled = benchutil::run_sbox(
       options, /*fixed_value=*/0x00, eval::ProbeModel::kGlitch, sims, staging);
   std::printf("%s\n", to_string(sampled, 5).c_str());

@@ -49,6 +49,12 @@ int main(int argc, char** argv) {
   std::printf("  exact verdict: %s, worst probe %s, TV distance %.4f\n",
               single_leaks ? "LEAKS" : "secure", single_where.c_str(), single_tv);
   score.expect_flag("r1 = r3 alone leaks (exact)", true, single_leaks);
+  benchutil::lint_check(
+      score, staging,
+      benchutil::kronecker_netlist(
+          gadgets::RandomnessPlan::kron1_single_reuse_r1r3()),
+      eval::ProbeModel::kGlitch, "", "linter flags r1 = r3 (R1 fresh reuse)",
+      /*expect_flagged=*/true, "lint_single");
 
   // Eq. (8)'s structure: the distribution is constant over secrets with
   // x1 = x5 = 0 but differs once x1 = 1.
@@ -77,6 +83,11 @@ int main(int argc, char** argv) {
   std::printf("  exact verdict: %s, worst probe %s, TV distance %.4f\n",
               pair_leaks ? "LEAKS" : "secure", pair_where.c_str(), pair_tv);
   score.expect_flag("r1=r3 + r2=r4 leaks (exact)", true, pair_leaks);
+  benchutil::lint_check(
+      score, staging,
+      benchutil::kronecker_netlist(gadgets::RandomnessPlan::kron1_pair_reuse()),
+      eval::ProbeModel::kGlitch, "", "linter flags the pair reuse",
+      /*expect_flagged=*/true, "lint_pair");
   score.expect_flag("pair reuse is strictly more severe (TV distance)", true,
                     pair_tv > single_tv);
 

@@ -25,6 +25,10 @@ int main(int argc, char** argv) {
       verif::verify_first_order_glitch(benchutil::kronecker_netlist(eq9));
   score.expect_flag("Eq.(9) Kronecker secure under glitch model (exact)", true,
                     !exact_eq9.any_leak && !exact_eq9.any_skipped);
+  benchutil::lint_check(score, staging, benchutil::kronecker_netlist(eq9),
+                        eval::ProbeModel::kGlitch, "",
+                        "linter clears Eq.(9) under the glitch rules",
+                        /*expect_flagged=*/false, "lint_eq9");
 
   gadgets::MaskedSboxOptions sbox_options;
   sbox_options.kron_plan = eq9;
@@ -40,6 +44,10 @@ int main(int argc, char** argv) {
       verif::verify_first_order_glitch(benchutil::kronecker_netlist(r5r6));
   score.expect_flag("r5 = r6 leaks under glitch model (exact)", true,
                     exact_r5r6.any_leak);
+  benchutil::lint_check(score, staging, benchutil::kronecker_netlist(r5r6),
+                        eval::ProbeModel::kGlitch, "",
+                        "linter flags r5 = r6",
+                        /*expect_flagged=*/true, "lint_r5r6");
   score.expect("r5 = r6, sampled, glitch model", false,
                benchutil::run_kronecker(r5r6, eval::ProbeModel::kGlitch, sims,
                                         1, 2, staging.with_suffix("r5r6")));

@@ -7,6 +7,9 @@
 // r1..r6, plus the fully fresh baseline) through the glitch+transition
 // campaign, and confirm Eq. (9) itself fails under this model.
 
+#include <set>
+#include <string>
+
 #include "bench/bench_util.hpp"
 #include "src/core/search.hpp"
 
@@ -24,6 +27,12 @@ int main(int argc, char** argv) {
       gadgets::RandomnessPlan::kron1_proposed_eq9(),
       eval::ProbeModel::kGlitchTransition, sims, 1, 2, staging);
   score.expect("Eq.(9) under glitch+transition model", false, eq9);
+  benchutil::lint_check(
+      score, staging,
+      benchutil::kronecker_netlist(gadgets::RandomnessPlan::kron1_proposed_eq9()),
+      eval::ProbeModel::kGlitchTransition, "",
+      "linter flags Eq.(9) under the transition rules (R4)",
+      /*expect_flagged=*/true);
 
   eval::SearchOptions options;
   options.model = eval::ProbeModel::kGlitchTransition;
@@ -48,5 +57,28 @@ int main(int argc, char** argv) {
   score.expect_flag("r7 = r6 leaks", true, !search.evaluations[6].secure);
   score.expect_flag("minimum fresh bits under transitions = 6", true,
                     search.min_secure_fresh() == 6);
+
+  // Same search with the static linter as a pre-filter: flagged candidates
+  // never reach the sampler, and the secure-plan set must be unchanged.
+  eval::SearchOptions filtered_options = options;
+  filtered_options.lint_prefilter = true;
+  const eval::SearchResult filtered = eval::search_r7_reuse(filtered_options);
+  std::printf("\nlint pre-filter: %zu of %zu candidates rejected statically, "
+              "%zu sampled\n",
+              filtered.lint_rejected, filtered.evaluations.size(),
+              filtered.expensive_evaluations);
+  const auto secure_names = [](const eval::SearchResult& r) {
+    std::set<std::string> names;
+    for (const eval::PlanEvaluation* e : r.secure_plans())
+      names.insert(e->plan.name());
+    return names;
+  };
+  score.expect_flag("pre-filtered search keeps the identical secure set",
+                    true, secure_names(filtered) == secure_names(search));
+  score.expect_flag("pre-filter removes candidates before sampling", true,
+                    filtered.expensive_evaluations <
+                        filtered.evaluations.size());
+  score.note("lint_rejected", filtered.lint_rejected);
+  score.note("expensive_evaluations", filtered.expensive_evaluations);
   return score.exit_code();
 }

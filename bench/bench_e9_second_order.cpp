@@ -34,6 +34,14 @@ int main(int argc, char** argv) {
               sims1, sims2);
 
   const auto full = gadgets::RandomnessPlan::kron2_full_fresh();
+  // The linter's rules are first-order (single probes); it still vouches for
+  // the order-1 claims here. Order-2 lint rules are a ROADMAP item.
+  benchutil::lint_check(score, staging,
+                        benchutil::kronecker_netlist(full, 3),
+                        eval::ProbeModel::kGlitchTransition, "",
+                        "linter clears the 3-share Kronecker at order 1",
+                        /*expect_flagged=*/false);
+
   std::printf("[a] unoptimized, %zu fresh bits\n", full.fresh_count());
   score.expect("order 1", true,
                benchutil::run_kronecker(full, eval::ProbeModel::kGlitchTransition,

@@ -9,13 +9,16 @@
 //   - that Eq. (9) is among them.
 
 #include <cstdlib>
+#include <set>
+#include <string>
 
 #include "bench/bench_util.hpp"
 #include "src/core/search.hpp"
 
 using namespace sca;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Staging staging = benchutil::parse_staging(argc, argv);
   benchutil::Scorecard score("partition_search");
   std::size_t max_fresh = 4;
   if (const char* env = std::getenv("SCA_MAX_FRESH"))
@@ -58,5 +61,37 @@ int main() {
   score.expect_flag("minimum fresh bits under glitch model = 4 (Eq. (9))",
                     true, result.min_secure_fresh() == 4);
   score.expect_flag("Eq. (9)'s shape among the secure plans", true, eq9_found);
+
+  // Re-run the sweep with the static linter as a pre-filter: flagged plans
+  // skip the exact verifier entirely, and the secure set must not change.
+  eval::SearchOptions filtered_options = options;
+  filtered_options.lint_prefilter = true;
+  const eval::SearchResult filtered =
+      eval::search_all_partitions(filtered_options, max_fresh);
+  std::printf("\nlint pre-filter: %zu of %zu plans rejected statically, "
+              "%zu reached the exact verifier\n",
+              filtered.lint_rejected, filtered.evaluations.size(),
+              filtered.expensive_evaluations);
+  const auto secure_names = [](const eval::SearchResult& r) {
+    std::set<std::string> names;
+    for (const eval::PlanEvaluation* e : r.secure_plans())
+      names.insert(e->plan.name());
+    return names;
+  };
+  score.expect_flag("pre-filtered sweep keeps the identical secure set", true,
+                    secure_names(filtered) == secure_names(result));
+  score.expect_flag("pre-filter reduces exact-verifier work", true,
+                    filtered.expensive_evaluations <
+                        filtered.evaluations.size());
+  score.note("plans", evaluated);
+  score.note("secure", secure);
+  score.note("lint_rejected", filtered.lint_rejected);
+  score.note("expensive_evaluations", filtered.expensive_evaluations);
+
+  benchutil::lint_check(
+      score, staging,
+      benchutil::kronecker_netlist(gadgets::RandomnessPlan::kron1_proposed_eq9()),
+      eval::ProbeModel::kGlitch, "",
+      "linter clears Eq.(9) under the glitch rules", /*expect_flagged=*/false);
   return score.exit_code();
 }

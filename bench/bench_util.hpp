@@ -20,11 +20,13 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/check.hpp"
 #include "src/core/campaign.hpp"
 #include "src/core/report.hpp"
 #include "src/gadgets/bus.hpp"
 #include "src/gadgets/kronecker.hpp"
 #include "src/gadgets/masked_sbox.hpp"
+#include "src/lint/linter.hpp"
 #include "src/netlist/ir.hpp"
 
 namespace sca::benchutil {
@@ -110,6 +112,7 @@ struct Staging {
   unsigned stop_after_stage = 0;   ///< Interrupt after stage k (CI/testing).
   unsigned early_stop_stages = 0;  ///< Consecutive confirmations; 0 = off.
   double early_stop_margin = 3.0;  ///< Extra -log10(p) above the threshold.
+  bool lint = false;               ///< Also run the static linter (--lint).
 
   /// Same staging with a per-campaign suffix on the checkpoint path, so a
   /// bench running several campaigns keeps their snapshots apart.
@@ -122,7 +125,7 @@ struct Staging {
 
 /// Parses the staging flags every experiment bench accepts:
 ///   --stages=N --checkpoint=PATH --resume[=PATH] --stop-after-stage=K
-///   --early-stop[=K] --early-stop-margin=X
+///   --early-stop[=K] --early-stop-margin=X --lint
 /// Unknown arguments print usage and exit(2).
 inline Staging parse_staging(int argc, char** argv) {
   Staging s;
@@ -153,13 +156,15 @@ inline Staging parse_staging(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(v.c_str(), nullptr, 10));
     else if (take("--early-stop-margin="))
       s.early_stop_margin = std::strtod(v.c_str(), nullptr);
+    else if (arg == "--lint")
+      s.lint = true;
     else {
       std::fprintf(
           stderr,
           "unknown argument: %s\n"
           "usage: %s [--stages=N] [--checkpoint=PATH] [--resume[=PATH]]\n"
           "          [--stop-after-stage=K] [--early-stop[=K]]\n"
-          "          [--early-stop-margin=X]\n",
+          "          [--early-stop-margin=X] [--lint]\n",
           arg.c_str(), argv[0]);
       std::exit(2);
     }
@@ -296,5 +301,31 @@ class Scorecard {
   JsonLine extra_;
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Runs the static linter (opted in with --lint) on `nl` under the lint
+/// model matching `model`, prints the report, scores the expected verdict,
+/// and attaches probe/finding counts to the trajectory under `tag`. Circuits
+/// the linter cannot handle (register feedback) print a skip and score
+/// nothing.
+inline void lint_check(Scorecard& score, const Staging& staging,
+                       const netlist::Netlist& nl, eval::ProbeModel model,
+                       const std::string& scope, const std::string& what,
+                       bool expect_flagged, const std::string& tag = "lint") {
+  if (!staging.lint) return;
+  lint::LintOptions options;
+  options.model = model == eval::ProbeModel::kGlitchTransition
+                      ? lint::LintModel::kGlitchTransition
+                      : lint::LintModel::kGlitch;
+  options.scope_filter = scope;
+  try {
+    const lint::LintReport report = lint::run_lint(nl, options);
+    std::printf("%s\n", to_string(report).c_str());
+    score.expect_flag(what, expect_flagged, !report.clean());
+    score.note(tag + "_probes", report.probes_checked);
+    score.note(tag + "_findings", report.findings.size());
+  } catch (const common::Error& e) {
+    std::printf("lint: skipped (%s)\n\n", e.what());
+  }
+}
 
 }  // namespace sca::benchutil

@@ -15,6 +15,11 @@
 //     --top N                     probe sets to print      (default 10)
 //     --exact                     also run the exact first-order glitch
 //                                 verifier (pipelines only)
+//     --lint                      also run the static leakage linter under
+//                                 the selected --model (pipelines only);
+//                                 findings count as FAIL
+//     --json                      print one machine-readable JSON summary
+//                                 line per backend at the end
 //     --stages N                  split the budget into N evaluation stages
 //                                 with a progress report after each
 //                                 (SCA_STAGES works too)
@@ -38,8 +43,10 @@
 #include <sstream>
 #include <string>
 
+#include "src/common/check.hpp"
 #include "src/core/campaign.hpp"
 #include "src/core/report.hpp"
+#include "src/lint/linter.hpp"
 #include "src/netlist/textio.hpp"
 #include "src/verif/exact.hpp"
 
@@ -52,7 +59,7 @@ namespace {
                "usage: %s <netlist.snl> [--model glitch|transition] "
                "[--order N] [--sims N]\n"
                "       [--fixed G=V]... [--threshold X] [--scope PREFIX] "
-               "[--seed N] [--top N] [--exact]\n"
+               "[--seed N] [--top N] [--exact] [--lint] [--json]\n"
                "       [--stages N] [--checkpoint PATH] [--resume] "
                "[--early-stop N] [--early-stop-margin X]\n",
                argv0);
@@ -66,6 +73,8 @@ int main(int argc, char** argv) {
 
   eval::CampaignOptions options;
   bool run_exact = false;
+  bool run_lint = false;
+  bool json = false;
   std::size_t top = 10;
 
   for (int i = 2; i < argc; ++i) {
@@ -104,6 +113,10 @@ int main(int argc, char** argv) {
       top = std::strtoul(next(), nullptr, 10);
     } else if (arg == "--exact") {
       run_exact = true;
+    } else if (arg == "--lint") {
+      run_lint = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--stages") {
       options.stages = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--checkpoint") {
@@ -136,6 +149,24 @@ int main(int argc, char** argv) {
                 nl.random_input_count());
 
     bool leak = false;
+    std::string json_lines;
+    if (run_lint) {
+      lint::LintOptions lint_options;
+      lint_options.model = options.model == eval::ProbeModel::kGlitchTransition
+                               ? lint::LintModel::kGlitchTransition
+                               : lint::LintModel::kGlitch;
+      lint_options.scope_filter = options.probe_scope_filter;
+      try {
+        const lint::LintReport report = lint::run_lint(nl, lint_options);
+        std::printf("%s\n", to_string(report).c_str());
+        leak |= !report.clean();
+        if (json) json_lines += eval::to_json(report) + "\n";
+      } catch (const common::Error& e) {
+        // Register feedback (e.g. an AES controller): the linter needs a
+        // pipeline, the sampling campaign below still covers the circuit.
+        std::printf("lint: skipped (%s)\n\n", e.what());
+      }
+    }
     if (run_exact) {
       const verif::ExactReport exact = verif::verify_first_order_glitch(nl);
       std::printf("%s\n", to_string(exact).c_str());
@@ -161,6 +192,10 @@ int main(int argc, char** argv) {
                   result.simulations_done, result.simulations_per_group);
     std::printf("%s", to_string(result, top).c_str());
     leak |= !result.pass;
+    if (json) {
+      json_lines += eval::to_json(result, top) + "\n";
+      std::printf("%s", json_lines.c_str());
+    }
     return leak ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -73,6 +73,13 @@ class DynamicBitset {
     return *this;
   }
 
+  /// In-place symmetric difference (GF(2) sum of the indicator vectors).
+  DynamicBitset& operator^=(const DynamicBitset& other) {
+    SCA_ASSERT(size_ == other.size_, "DynamicBitset size mismatch in ^=");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+  }
+
   friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
     a |= b;
     return a;

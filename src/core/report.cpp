@@ -147,6 +147,36 @@ std::string to_json(const CampaignResult& result, std::size_t top_n) {
   return os.str();
 }
 
+std::string to_json(const lint::LintReport& report) {
+  std::ostringstream os;
+  os << "{\"backend\":\"lint\",\"model\":\"" << lint::to_string(report.model)
+     << "\",\"clean\":" << (report.clean() ? "true" : "false")
+     << ",\"probes_checked\":" << report.probes_checked
+     << ",\"probes_flagged\":" << report.probes_flagged
+     << ",\"otp_cuts\":" << report.cuts_applied << ",\"findings\":[";
+  const auto string_array = [&](const std::vector<std::string>& items) {
+    os << "[";
+    for (std::size_t i = 0; i < items.size(); ++i)
+      os << (i ? "," : "") << "\"" << json_escape(items[i]) << "\"";
+    os << "]";
+  };
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const lint::LintFinding& f = report.findings[i];
+    if (i) os << ",";
+    os << "{\"rule\":\"" << lint::lint_rule_name(f.rule) << "\""
+       << ",\"probe\":\"" << json_escape(f.probe_name) << "\""
+       << ",\"offending\":";
+    string_array(f.offending);
+    os << ",\"shared_fresh\":";
+    string_array(f.shared_fresh);
+    os << ",\"completed\":";
+    string_array(f.completed);
+    os << ",\"message\":\"" << json_escape(f.message) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 void default_stage_sink(const StageReport& report) {
   std::printf("%s\n", stage_line(report).c_str());
   std::fflush(stdout);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/core/campaign.hpp"
+#include "src/lint/linter.hpp"
 
 namespace sca::eval {
 
@@ -26,6 +27,10 @@ std::string to_json(const StageReport& report);
 /// Single-line JSON object of a campaign result with its `top_n` worst
 /// probe sets inlined.
 std::string to_json(const CampaignResult& result, std::size_t top_n = 10);
+
+/// Single-line JSON object of a lint report with every finding inlined
+/// (rule, probe, offending signals, shared fresh bits, completed sharings).
+std::string to_json(const lint::LintReport& report);
 
 /// Ready-made CampaignOptions::on_stage sink: prints stage_line() to
 /// stdout and, when the SCA_STAGE_JSON environment variable names a file,

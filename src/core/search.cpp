@@ -7,6 +7,7 @@
 #include "src/core/campaign.hpp"
 #include "src/gadgets/bus.hpp"
 #include "src/gadgets/kronecker.hpp"
+#include "src/lint/linter.hpp"
 #include "src/verif/exact.hpp"
 
 namespace sca::eval {
@@ -40,7 +41,19 @@ PlanEvaluation evaluate_kron1_plan(const RandomnessPlan& plan,
       gadgets::make_input_bus(nl, 8, netlist::InputRole::kShare, "b1_", 0, 1)};
   gadgets::build_kronecker(nl, shares, plan);
 
-  PlanEvaluation eval{plan, false, false, 0.0, ""};
+  PlanEvaluation eval{plan, false, false, 0.0, "", false};
+  if (options.lint_prefilter) {
+    lint::LintOptions lint_options;
+    lint_options.model = options.model == ProbeModel::kGlitchTransition
+                             ? lint::LintModel::kGlitchTransition
+                             : lint::LintModel::kGlitch;
+    const lint::LintReport report = lint::run_lint(nl, lint_options);
+    if (!report.clean()) {
+      eval.lint_rejected = true;
+      eval.worst_probe = report.findings.front().probe_name;
+      return eval;
+    }
+  }
   if (options.model == ProbeModel::kGlitch && options.prefer_exact) {
     verif::ExactOptions exact_options;
     exact_options.threads = options.threads;
@@ -86,10 +99,13 @@ SearchResult evaluate_candidates(std::vector<RandomnessPlan> candidates,
   SearchResult result;
   result.evaluations.reserve(candidates.size());
   for (const RandomnessPlan& plan : candidates)
-    result.evaluations.push_back(PlanEvaluation{plan, false, false, 0.0, ""});
+    result.evaluations.push_back(
+        PlanEvaluation{plan, false, false, 0.0, "", false});
   common::parallel_for(candidates.size(), options.threads, [&](std::size_t i) {
     result.evaluations[i] = evaluate_kron1_plan(candidates[i], per_plan);
   });
+  for (const PlanEvaluation& e : result.evaluations)
+    (e.lint_rejected ? result.lint_rejected : result.expensive_evaluations)++;
   return result;
 }
 

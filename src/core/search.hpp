@@ -33,6 +33,11 @@ struct SearchOptions {
   /// evaluation. Results are ordered by candidate index either way, so they
   /// are identical for any thread count.
   unsigned threads = 0;
+  /// Run the static linter (src/lint) on each candidate first and reject
+  /// flagged plans without any exact or sampling evaluation. Sound by the
+  /// linter's construction (lint-clean => secure under the model); verdict
+  /// identity with the unfiltered search is asserted in tests/lint_test.cpp.
+  bool lint_prefilter = false;
 };
 
 struct PlanEvaluation {
@@ -41,10 +46,15 @@ struct PlanEvaluation {
   bool exact = false;      ///< verdict from the exact verifier
   double severity = 0.0;   ///< max TV distance (exact) or -log10(p) (sampled)
   std::string worst_probe; ///< most significant probe (empty when secure/exact)
+  bool lint_rejected = false;  ///< pre-filter verdict, no expensive run
 };
 
 struct SearchResult {
   std::vector<PlanEvaluation> evaluations;
+  /// Candidates the lint pre-filter rejected statically (0 when disabled).
+  std::size_t lint_rejected = 0;
+  /// Candidates that reached the exact verifier or the sampler.
+  std::size_t expensive_evaluations = 0;
 
   /// Secure plans, cheapest (fewest fresh bits) first.
   std::vector<const PlanEvaluation*> secure_plans() const;

@@ -83,6 +83,9 @@ RandomnessPlan RandomnessPlan::parse(const std::string& name,
       throw common::Error("RandomnessPlan::parse: bad slot index in '" + token +
                           "'");
     }
+    require(slot_number >= expected_slot,
+            "RandomnessPlan::parse: duplicate slot r" +
+                std::to_string(slot_number));
     require(slot_number == expected_slot,
             "RandomnessPlan::parse: slots must be listed in order (r" +
                 std::to_string(expected_slot) + " expected)");
@@ -105,11 +108,19 @@ RandomnessPlan RandomnessPlan::parse(const std::string& name,
       while (pos + 1 + digits < expr.size() &&
              std::isdigit(static_cast<unsigned char>(expr[pos + 1 + digits]))) {
         bit = bit * 10 + static_cast<unsigned>(expr[pos + 1 + digits] - '0');
+        // Cap before the accumulator can wrap on absurd indices (f4294967296
+        // must not alias f0).
+        require(bit < 64,
+                "RandomnessPlan::parse: fresh bit index out of range in '" +
+                    token + "' (at most f63)");
         ++digits;
       }
       require(digits > 0, "RandomnessPlan::parse: missing bit index in '" +
                               token + "'");
-      require(bit < 64, "RandomnessPlan::parse: fresh bit index out of range");
+      require(!((slot.fresh_mask >> bit) & 1u),
+              "RandomnessPlan::parse: duplicate fresh bit f" +
+                  std::to_string(bit) + " in '" + token +
+                  "' (fN ^ fN is constant zero, not a mask)");
       slot.fresh_mask |= std::uint64_t{1} << bit;
       max_bit = std::max(max_bit, bit);
       pos += 1 + digits;

@@ -1,0 +1,307 @@
+#include "src/lint/lattice.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/check.hpp"
+#include "src/common/dynamic_bitset.hpp"
+
+namespace sca::lint {
+
+using common::DynamicBitset;
+using common::require;
+using netlist::GateKind;
+using netlist::InputRole;
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+/// The (L, N) abstraction of one cone node over the tuple-local variables.
+struct Abs {
+  DynamicBitset lin;
+  DynamicBitset nonlin;
+};
+
+}  // namespace
+
+TupleAnalyzer::TupleAnalyzer(const Netlist& original,
+                             const verif::Unrolled& unrolled)
+    : original_(&original), unrolled_(&unrolled) {
+  require(unrolled.cycles > 0, "TupleAnalyzer: empty unrolling");
+  last_cycle_ = unrolled.cycles - 1;
+  input_index_.assign(unrolled.nl.size(), SIZE_MAX);
+  const auto& inputs = unrolled.nl.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    input_index_[inputs[i].signal] = i;
+}
+
+TupleVerdict TupleAnalyzer::analyze(
+    const std::vector<TupleElement>& elements) const {
+  const Netlist& unl = unrolled_->nl;
+
+  // --- resolve elements to unrolled signals -------------------------------
+  std::vector<SignalId> element_ids;
+  element_ids.reserve(elements.size());
+  for (const TupleElement& e : elements) {
+    require(e.cycle_back <= last_cycle_,
+            "TupleAnalyzer: cycle_back outside the unroll window");
+    const SignalId id = unrolled_->map[last_cycle_ - e.cycle_back][e.stable];
+    require(id != netlist::kNoSignal,
+            "TupleAnalyzer: element depends on the cold start (unroll "
+            "deeper)");
+    element_ids.push_back(id);
+  }
+
+  // --- collect the union combinational cone -------------------------------
+  // Unrolled signal ids ascend topologically (fanins always precede their
+  // gate), so a sorted id list is a topological order.
+  std::vector<SignalId> cone;
+  {
+    std::vector<bool> seen(unl.size(), false);
+    std::vector<SignalId> stack(element_ids.begin(), element_ids.end());
+    while (!stack.empty()) {
+      const SignalId id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = true;
+      cone.push_back(id);
+      const netlist::Gate& g = unl.gate(id);
+      for (std::size_t k = 0; k < netlist::gate_arity(g.kind); ++k)
+        stack.push_back(g.fanin[k]);
+    }
+    std::sort(cone.begin(), cone.end());
+  }
+  std::unordered_map<SignalId, std::size_t> cone_pos;
+  cone_pos.reserve(cone.size());
+  for (std::size_t i = 0; i < cone.size(); ++i) cone_pos[cone[i]] = i;
+
+  // --- tuple-local variables ---------------------------------------------
+  // Leaf variables are the share/fresh inputs present in the cone (control
+  // inputs are public and treated as constants); virtual variables created
+  // by cuts get the slots after them. A node can be cut at most once, so
+  // |cone| extra slots always suffice.
+  struct Var {
+    bool fresh = false;               // fresh input or virtual
+    SignalId input = netlist::kNoSignal;  // unrolled input (leaves only)
+  };
+  std::vector<Var> vars;
+  std::vector<std::size_t> var_of_input(unl.inputs().size(), SIZE_MAX);
+  for (const SignalId id : cone) {
+    if (unl.kind(id) != GateKind::kInput) continue;
+    const std::size_t ii = input_index_[id];
+    const netlist::InputInfo& info = unl.inputs()[ii];
+    if (info.role == InputRole::kControl) continue;
+    var_of_input[ii] = vars.size();
+    vars.push_back(Var{info.role == InputRole::kRandom, id});
+  }
+  const std::size_t leaf_vars = vars.size();
+  const std::size_t var_capacity = leaf_vars + cone.size();
+
+  // --- abstraction computation -------------------------------------------
+  // resolved[pos] = var id of the virtual variable a cut assigned to the
+  // node, SIZE_MAX when unresolved.
+  std::vector<std::size_t> resolved(cone.size(), SIZE_MAX);
+  std::vector<Abs> abs(cone.size());
+
+  const auto recompute = [&]() {
+    for (std::size_t i = 0; i < cone.size(); ++i) {
+      Abs& a = abs[i];
+      a.lin = DynamicBitset(var_capacity);
+      a.nonlin = DynamicBitset(var_capacity);
+      if (resolved[i] != SIZE_MAX) {
+        a.lin.set(resolved[i]);
+        continue;
+      }
+      const SignalId id = cone[i];
+      const netlist::Gate& g = unl.gate(id);
+      const auto fan = [&](std::size_t k) -> const Abs& {
+        return abs[cone_pos.at(g.fanin[k])];
+      };
+      switch (g.kind) {
+        case GateKind::kConst0:
+        case GateKind::kConst1:
+          break;
+        case GateKind::kInput: {
+          const std::size_t v = var_of_input[input_index_[id]];
+          if (v != SIZE_MAX) a.lin.set(v);
+          break;
+        }
+        case GateKind::kBuf:
+        case GateKind::kNot:
+          a = fan(0);
+          break;
+        case GateKind::kXor:
+        case GateKind::kXnor:
+          a.lin = fan(0).lin;
+          a.lin ^= fan(1).lin;
+          a.nonlin = fan(0).nonlin;
+          a.nonlin |= fan(1).nonlin;
+          break;
+        case GateKind::kAnd:
+        case GateKind::kNand:
+        case GateKind::kOr:
+        case GateKind::kNor:
+          a.nonlin = fan(0).lin;
+          a.nonlin |= fan(0).nonlin;
+          a.nonlin |= fan(1).lin;
+          a.nonlin |= fan(1).nonlin;
+          break;
+        case GateKind::kMux:
+          for (std::size_t k = 0; k < 3; ++k) {
+            a.nonlin |= fan(k).lin;
+            a.nonlin |= fan(k).nonlin;
+          }
+          break;
+        case GateKind::kReg:
+          SCA_ASSERT(false, "TupleAnalyzer: register in unrolled netlist");
+      }
+    }
+  };
+  recompute();
+
+  // Does any element depend on variable `v` when node `opaque` (SIZE_MAX =
+  // none) is treated as a leaf? A cheap monotone reachability pass.
+  std::vector<bool> dep(cone.size());
+  const auto any_element_depends = [&](std::size_t v, std::size_t opaque) {
+    for (std::size_t i = 0; i < cone.size(); ++i) {
+      dep[i] = false;
+      if (i == opaque) continue;
+      if (resolved[i] != SIZE_MAX) {
+        dep[i] = (resolved[i] == v);  // a cut node is a source of its virtual
+        continue;
+      }
+      const SignalId id = cone[i];
+      const netlist::Gate& g = unl.gate(id);
+      if (g.kind == GateKind::kInput) {
+        const std::size_t vi = var_of_input[input_index_[id]];
+        dep[i] = (vi == v);
+        continue;
+      }
+      for (std::size_t k = 0; k < netlist::gate_arity(g.kind); ++k)
+        if (dep[cone_pos.at(g.fanin[k])]) {
+          dep[i] = true;
+          break;
+        }
+    }
+    for (const SignalId e : element_ids)
+      if (dep[cone_pos.at(e)]) return true;
+    return false;
+  };
+
+  // --- OTP elimination to fixpoint ---------------------------------------
+  TupleVerdict verdict;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t f = 0; f < vars.size(); ++f) {
+      if (!vars[f].fresh) continue;
+      // Skip variables that no element observes at all.
+      bool observed = false;
+      for (const SignalId e : element_ids) {
+        const Abs& a = abs[cone_pos.at(e)];
+        if (a.lin.test(f) || a.nonlin.test(f)) {
+          observed = true;
+          break;
+        }
+      }
+      if (!observed) continue;
+      // Latest-first: cutting the most downstream valid node absorbs the
+      // largest subexpression.
+      for (std::size_t i = cone.size(); i-- > 0;) {
+        if (resolved[i] != SIZE_MAX) continue;
+        // Cutting an input node at itself would be a semantic no-op that
+        // only obscures which physical fresh bit the residual observes.
+        if (unl.kind(cone[i]) == GateKind::kInput) continue;
+        if (!abs[i].lin.test(f) || abs[i].nonlin.test(f)) continue;
+        if (any_element_depends(f, i)) continue;
+        // Valid cut: node i = f XOR (rest without f), and f reaches the
+        // tuple only through node i. Replace it by a virtual fresh var.
+        resolved[i] = vars.size();
+        vars.push_back(Var{true, netlist::kNoSignal});
+        require(vars.size() <= var_capacity,
+                "TupleAnalyzer: virtual variable overflow");
+        recompute();
+        ++verdict.cuts_applied;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // --- non-completeness check on the residual ----------------------------
+  // Union of per-element dependencies, and per-element dependency sets for
+  // witness attribution.
+  std::vector<DynamicBitset> elem_deps;
+  elem_deps.reserve(elements.size());
+  DynamicBitset all_deps(var_capacity);
+  for (const SignalId e : element_ids) {
+    const Abs& a = abs[cone_pos.at(e)];
+    DynamicBitset d = a.lin;
+    d |= a.nonlin;
+    all_deps |= d;
+    elem_deps.push_back(std::move(d));
+  }
+
+  // Group observed share variables by sharing instance (secret, bit, cycle).
+  struct Bucket {
+    std::vector<std::uint32_t> shares;
+    std::vector<std::size_t> vars;
+  };
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::size_t>, Bucket>
+      buckets;
+  for (std::size_t v = 0; v < leaf_vars; ++v) {
+    if (vars[v].fresh || !all_deps.test(v)) continue;
+    const std::size_t ii = input_index_[vars[v].input];
+    const netlist::ShareLabel& label =
+        unl.inputs()[ii].share;  // unroll preserves the original label
+    const std::size_t cycle = unrolled_->input_cycle[ii];
+    Bucket& b = buckets[{label.secret, label.bit, cycle}];
+    if (std::find(b.shares.begin(), b.shares.end(), label.share) ==
+        b.shares.end())
+      b.shares.push_back(label.share);
+    b.vars.push_back(v);
+  }
+
+  for (const auto& [key, bucket] : buckets) {
+    const auto [secret, bit, cycle] = key;
+    if (bucket.shares.size() < original_->share_count(secret)) continue;
+    CompletedSharing c;
+    c.secret = secret;
+    c.bit = bit;
+    c.cycle = cycle;
+    for (std::size_t e = 0; e < elements.size(); ++e)
+      for (const std::size_t v : bucket.vars)
+        if (elem_deps[e].test(v)) {
+          c.elements.push_back(e);
+          break;
+        }
+    if (cycle == last_cycle_) verdict.raw_share_path = true;
+    verdict.completed.push_back(std::move(c));
+  }
+  verdict.secure = verdict.completed.empty();
+  if (verdict.secure) return verdict;
+
+  // Residual contributing elements, and the fresh bits they share — the
+  // randomness-reuse witnesses the findings report.
+  DynamicBitset contributing(elements.size());
+  for (const CompletedSharing& c : verdict.completed)
+    for (const std::size_t e : c.elements) contributing.set(e);
+  verdict.residual_elements = contributing.set_bits();
+
+  for (std::size_t f = 0; f < leaf_vars; ++f) {
+    if (!vars[f].fresh) continue;
+    SharedFresh sf;
+    for (const std::size_t e : verdict.residual_elements)
+      if (elem_deps[e].test(f)) sf.elements.push_back(e);
+    if (sf.elements.size() < 2) continue;
+    const std::size_t ii = input_index_[vars[f].input];
+    sf.input = unrolled_->input_original[ii];
+    sf.cycle = unrolled_->input_cycle[ii];
+    verdict.shared_fresh.push_back(std::move(sf));
+  }
+  return verdict;
+}
+
+}  // namespace sca::lint

@@ -1,0 +1,111 @@
+// Distribution-type lattice analysis — the engine of the static leakage
+// linter.
+//
+// The analysis works on the *unrolled* (purely combinational) netlist
+// produced by verif::unroll, where every observed signal is a Boolean
+// expression over per-cycle instances of the primary inputs. Each node is
+// abstracted by a pair of variable sets (L, N) meaning
+//
+//     value(node) = <L, vars> XOR g(vars restricted to N)
+//
+// L is the *exact* GF(2)-linear part (parity is tracked, so f ^ f cancels)
+// and N over-approximates the support of the nonlinear remainder g. The
+// lattice labels of the issue map onto this abstraction: constant =
+// (empty, empty); fresh-random = ({f}, empty); share-of-secret = ({s},
+// empty); combined = anything with |L| + |N| > 1. A fresh variable f with
+// f in L(v) \ N(v) acts as a one-time pad (OTP) for node v.
+//
+// On top of the abstraction the analyzer applies the two rules of
+// maskVerif-style probing verification to an observation tuple (the
+// glitch/transition-extended contents of one probe):
+//
+//   * OTP elimination ("cut"): if every influence of a fresh variable f on
+//     the tuple flows through a single node v with f in L(v) \ N(v), then
+//     v is uniformly distributed and independent of the remaining tuple;
+//     v is replaced by a *virtual* fresh variable and the analysis
+//     iterates. Virtual variables can seed further cuts.
+//   * Non-completeness: at the fixpoint, the tuple is independent of every
+//     secret if for each sharing instance (secret, bit, cycle) at least
+//     one share is absent from the residual dependency union — fresh
+//     re-sharing each cycle makes incomplete share sets jointly uniform.
+//
+// A tuple that still reaches every share of some sharing instance is
+// *flagged*: the linter cannot prove it secure. Flagging is sound for
+// security proofs (a clean verdict is a proof under the model); precision
+// (no false alarms) is validated against the exact enumerative verifier
+// over restricted plan spaces in tests/lint_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/netlist/ir.hpp"
+#include "src/verif/unroll.hpp"
+
+namespace sca::lint {
+
+/// One observed element of a probe tuple: a stable signal of the original
+/// netlist, `cycle_back` cycles before the probe cycle (0 = the probe
+/// cycle itself, 1 = the transition-extended previous cycle).
+struct TupleElement {
+  netlist::SignalId stable = netlist::kNoSignal;
+  std::size_t cycle_back = 0;
+};
+
+/// A completed sharing instance: the residual tuple reaches every share of
+/// bit `bit` of secret group `secret` as shared at unrolled cycle `cycle`.
+struct CompletedSharing {
+  std::uint32_t secret = 0;
+  std::uint32_t bit = 0;
+  std::size_t cycle = 0;
+  std::vector<std::size_t> elements;  ///< contributing tuple element indices
+};
+
+/// A fresh input reached by two or more of the residual elements that
+/// contribute to a completed sharing — the randomness-reuse witness.
+struct SharedFresh {
+  netlist::SignalId input = netlist::kNoSignal;  ///< original input signal
+  std::size_t cycle = 0;                         ///< unrolled draw cycle
+  std::vector<std::size_t> elements;             ///< tuple element indices
+};
+
+struct TupleVerdict {
+  bool secure = true;
+  /// Sharing instances the residual tuple completes (empty when secure).
+  std::vector<CompletedSharing> completed;
+  /// Elements that survived OTP elimination and contribute shares to some
+  /// completed sharing, ascending.
+  std::vector<std::size_t> residual_elements;
+  /// Fresh bits shared between residual contributing elements.
+  std::vector<SharedFresh> shared_fresh;
+  /// True when some completed sharing is drawn at the probe cycle itself,
+  /// i.e. share inputs meet the probe through purely combinational paths.
+  bool raw_share_path = false;
+  std::size_t cuts_applied = 0;  ///< OTP eliminations performed
+};
+
+/// Per-tuple lattice analyzer. Construct once per netlist (the unrolling
+/// and supports are reused across all tuples), then call analyze() per
+/// observation tuple.
+class TupleAnalyzer {
+ public:
+  /// `unrolled` must come from verif::unroll(original, cycles) with
+  /// cycles > sequential_depth(original) + the largest cycle_back used.
+  TupleAnalyzer(const netlist::Netlist& original,
+                const verif::Unrolled& unrolled);
+
+  TupleVerdict analyze(const std::vector<TupleElement>& elements) const;
+
+  /// The unrolled cycle observed by cycle_back = 0 elements.
+  std::size_t probe_cycle() const { return last_cycle_; }
+
+ private:
+  const netlist::Netlist* original_;
+  const verif::Unrolled* unrolled_;
+  std::size_t last_cycle_ = 0;
+  /// Unrolled input signal id -> index into unrolled_->nl.inputs().
+  std::vector<std::size_t> input_index_;  // SIZE_MAX where not an input
+};
+
+}  // namespace sca::lint

@@ -1,0 +1,183 @@
+#include "src/lint/linter.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/netlist/cone.hpp"
+#include "src/verif/unroll.hpp"
+
+namespace sca::lint {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::SignalId;
+
+std::string to_string(LintModel model) {
+  switch (model) {
+    case LintModel::kGlitch:
+      return "glitch";
+    case LintModel::kGlitchTransition:
+      return "glitch+transition";
+  }
+  return "?";
+}
+
+std::string_view lint_rule_name(LintRule rule) {
+  switch (rule) {
+    case LintRule::kR1FreshReuse:
+      return "R1-fresh-reuse";
+    case LintRule::kR2DomainCrossing:
+      return "R2-domain-crossing";
+    case LintRule::kR3MissingRegister:
+      return "R3-missing-register";
+    case LintRule::kR4TransitionHazard:
+      return "R4-transition-hazard";
+  }
+  return "?";
+}
+
+namespace {
+
+/// "@t", "@t-1", ... suffix for a value `cycles_back` before the probe.
+std::string cycle_suffix(std::size_t cycles_back) {
+  if (cycles_back == 0) return "@t";
+  return "@t-" + std::to_string(cycles_back);
+}
+
+/// Classifies a flagged glitch-only verdict. Completed sharings drawn at
+/// the probe cycle mean share inputs reach the probe combinationally (R3);
+/// otherwise randomness shared between several residual signals is the
+/// Eq. (6) pattern (R1); a hazard confined to the signals themselves —
+/// typically a single node mixing sibling shares — is a domain crossing
+/// (R2).
+LintRule classify(const TupleVerdict& verdict) {
+  if (verdict.raw_share_path) return LintRule::kR3MissingRegister;
+  if (!verdict.shared_fresh.empty() && verdict.residual_elements.size() >= 2)
+    return LintRule::kR1FreshReuse;
+  return LintRule::kR2DomainCrossing;
+}
+
+}  // namespace
+
+LintReport run_lint(const Netlist& nl, const LintOptions& options) {
+  const bool transition = options.model == LintModel::kGlitchTransition;
+  // +1 cycle so the probe cycle is past the pipeline's cold start, +1 more
+  // so the transition-extended previous cycle is too. sequential_depth
+  // rejects register feedback (same circuits verif::exact rejects).
+  const std::size_t cycles =
+      verif::sequential_depth(nl) + 1 + (transition ? 1 : 0);
+  const verif::Unrolled unrolled = verif::unroll(nl, cycles);
+  const netlist::StableSupport supports(nl);
+  const TupleAnalyzer analyzer(nl, unrolled);
+
+  // Deduplicated probe universe, same semantics as eval's
+  // build_probe_universe (not reused to keep lint independent of core):
+  // probes observing identical stable sets collapse, named representatives
+  // preferred.
+  std::map<std::vector<SignalId>, SignalId> unique;
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    const GateKind k = nl.kind(id);
+    if (k == GateKind::kConst0 || k == GateKind::kConst1) continue;
+    if (!options.scope_filter.empty()) {
+      const auto name = nl.explicit_name(id);
+      if (!name || name->rfind(options.scope_filter, 0) != 0) continue;
+    }
+    std::vector<SignalId> observed;
+    for (std::size_t idx : supports.support(id).set_bits())
+      observed.push_back(supports.stable_points()[idx]);
+    if (observed.empty()) continue;
+    auto [it, inserted] = unique.try_emplace(std::move(observed), id);
+    if (!inserted && !nl.explicit_name(it->second) && nl.explicit_name(id))
+      it->second = id;
+  }
+
+  LintReport report;
+  report.model = options.model;
+  const std::size_t probe_cycle = analyzer.probe_cycle();
+
+  for (const auto& [observed, representative] : unique) {
+    ++report.probes_checked;
+
+    std::vector<TupleElement> tuple;
+    tuple.reserve(observed.size() * (transition ? 2 : 1));
+    for (const SignalId s : observed) tuple.push_back({s, 0});
+    if (transition)
+      for (const SignalId s : observed) tuple.push_back({s, 1});
+
+    const TupleVerdict verdict = analyzer.analyze(tuple);
+    report.cuts_applied += verdict.cuts_applied;
+    if (verdict.secure) continue;
+    ++report.probes_flagged;
+
+    // A transition-extended flag can be inherited from the glitch model
+    // (then the glitch verdict carries the sharper witness) or genuinely
+    // need the previous cycle — only the latter is an R4.
+    LintRule rule;
+    const TupleVerdict* witness = &verdict;
+    TupleVerdict glitch_verdict;
+    if (transition) {
+      glitch_verdict = analyzer.analyze(std::vector<TupleElement>(
+          tuple.begin(), tuple.begin() + static_cast<std::ptrdiff_t>(observed.size())));
+      if (glitch_verdict.secure) {
+        rule = LintRule::kR4TransitionHazard;
+      } else {
+        rule = classify(glitch_verdict);
+        witness = &glitch_verdict;
+      }
+    } else {
+      rule = classify(verdict);
+    }
+
+    LintFinding finding;
+    finding.rule = rule;
+    finding.probe = representative;
+    finding.probe_name = nl.signal_name(representative);
+    for (const std::size_t e : witness->residual_elements) {
+      const std::size_t back = e / observed.size();  // 0 = probe cycle
+      finding.offending.push_back(nl.signal_name(observed[e % observed.size()]) +
+                                  cycle_suffix(back));
+    }
+    for (const SharedFresh& sf : witness->shared_fresh)
+      finding.shared_fresh.push_back(nl.signal_name(sf.input) +
+                                     cycle_suffix(probe_cycle - sf.cycle));
+    for (const CompletedSharing& c : witness->completed)
+      finding.completed.push_back("s" + std::to_string(c.secret) + ".b" +
+                                  std::to_string(c.bit) +
+                                  cycle_suffix(probe_cycle - c.cycle));
+
+    std::ostringstream msg;
+    msg << lint_rule_name(rule) << ": probe " << finding.probe_name
+        << " completes ";
+    for (std::size_t i = 0; i < finding.completed.size(); ++i)
+      msg << (i ? ", " : "") << finding.completed[i];
+    if (!finding.offending.empty()) {
+      msg << " via ";
+      for (std::size_t i = 0; i < finding.offending.size(); ++i)
+        msg << (i ? ", " : "") << finding.offending[i];
+    }
+    if (!finding.shared_fresh.empty()) {
+      msg << " (shared fresh ";
+      for (std::size_t i = 0; i < finding.shared_fresh.size(); ++i)
+        msg << (i ? ", " : "") << finding.shared_fresh[i];
+      msg << ")";
+    }
+    finding.message = msg.str();
+    report.findings.push_back(std::move(finding));
+  }
+  return report;
+}
+
+std::string to_string(const LintReport& report) {
+  std::ostringstream out;
+  out << "lint[" << to_string(report.model) << "]: " << report.probes_checked
+      << " probes, " << report.probes_flagged << " flagged, "
+      << report.cuts_applied << " OTP cuts — "
+      << (report.clean() ? "CLEAN" : "FLAGGED") << "\n";
+  for (const LintFinding& f : report.findings)
+    out << "  " << f.message << "\n";
+  return out.str();
+}
+
+}  // namespace sca::lint

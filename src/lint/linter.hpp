@@ -1,0 +1,104 @@
+// Static leakage linter: rule-based netlist analysis that flags
+// randomness-reuse and glitch/transition hazards without simulation.
+//
+// The linter is the third evaluation backend next to the sampling campaign
+// (core/campaign) and the exact enumerative verifier (verif/exact): it
+// derives verdicts from the circuit graph alone, in the spirit of
+// aLEAKator and the masked-arithmetic verification line, so it is *instant*
+// — no simulations, no per-probe enumeration — and usable as a pre-filter
+// in front of both expensive engines (eval::SearchOptions::lint_prefilter).
+//
+// Every deduplicated glitch-extended probe (optionally transition-extended)
+// is checked with the distribution-type lattice of lint/lattice.hpp; a
+// probe the analysis cannot prove independent of the secrets becomes one
+// finding, classified by the concrete hazard rules of the paper's analysis:
+//
+//   R1 fresh-mask reuse     two mask slots share a fresh bit and their
+//                           glitch-extended cones meet at a combinational
+//                           node — Eq. (6)'s r1 = r3 observed at v1..v4
+//                           inside G7.
+//   R2 domain crossing      a single observed signal mixes every share of
+//                           a secret bit before its register stage (e.g.
+//                           an inner-domain DOM product fed with sibling
+//                           masks).
+//   R3 missing register     share inputs reach the probe through purely
+//                           combinational paths — nonlinear logic consumed
+//                           by the next layer without a register boundary.
+//   R4 transition hazard    the probe is clean under the glitch rules but
+//                           flagged once the previous cycle's values are
+//                           observed too (Eq. (9)'s r5 = r4 reuse, the
+//                           paper's Section IV).
+//
+// Soundness scope: a clean lint verdict is a *proof* of first-order
+// probing security under the analysis' model (uniform independent fresh
+// inputs, fresh re-sharing per cycle, single probe). A finding is a
+// potential hazard, not a counterexample — precision is validated against
+// verif::exact over the paper's plan spaces in tests/lint_test.cpp; see
+// DESIGN.md for what the linter can and cannot conclude vs PROLEAD.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lint/lattice.hpp"
+#include "src/netlist/ir.hpp"
+
+namespace sca::lint {
+
+enum class LintModel {
+  kGlitch,            ///< glitch-extended probes (one cycle)
+  kGlitchTransition,  ///< glitch- and transition-extended (two cycles)
+};
+
+std::string to_string(LintModel model);
+
+enum class LintRule {
+  kR1FreshReuse,
+  kR2DomainCrossing,
+  kR3MissingRegister,
+  kR4TransitionHazard,
+};
+
+/// Short stable identifier: "R1-fresh-reuse", "R2-domain-crossing", ...
+std::string_view lint_rule_name(LintRule rule);
+
+struct LintOptions {
+  LintModel model = LintModel::kGlitch;
+  /// Only probe signals whose hierarchical name starts with this prefix
+  /// (same semantics as the campaign's probe_scope_filter).
+  std::string scope_filter;
+};
+
+struct LintFinding {
+  LintRule rule = LintRule::kR1FreshReuse;
+  netlist::SignalId probe = netlist::kNoSignal;
+  std::string probe_name;  ///< representative signal, e.g. "kron.G7.inner0"
+  /// Residual observed signals the hazard lives in, "name@t[-k]" form.
+  std::vector<std::string> offending;
+  /// Fresh bits shared between offending signals ("f0@t-2"), R1/R4.
+  std::vector<std::string> shared_fresh;
+  /// Completed sharing instances, "secret0.bit1@t-2" form.
+  std::vector<std::string> completed;
+  std::string message;  ///< one-line human-readable summary
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+  LintModel model = LintModel::kGlitch;
+  std::size_t probes_checked = 0;
+  std::size_t probes_flagged = 0;
+  std::size_t cuts_applied = 0;  ///< total OTP eliminations across probes
+  bool clean() const { return findings.empty(); }
+};
+
+/// Runs the linter over every deduplicated probe position of `nl`. The
+/// netlist must be a pipeline (no register feedback) — circuits the exact
+/// verifier rejects are rejected here too, with the same common::Error.
+LintReport run_lint(const netlist::Netlist& nl, const LintOptions& options = {});
+
+/// Renders the report as an aligned text table (one line per finding).
+std::string to_string(const LintReport& report);
+
+}  // namespace sca::lint

@@ -328,6 +328,28 @@ TEST(RandomnessPlan, ParseRejectsMalformedInput) {
   EXPECT_THROW(RandomnessPlan::parse("x", "banana"), common::Error);
 }
 
+TEST(RandomnessPlan, ParseRejectsHardenedCorners) {
+  // Duplicate slot (would silently shadow the earlier definition).
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1=f0 r1=f1"), common::Error);
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1=f0 r2=f1 r2=f2"),
+               common::Error);
+  // Empty expressions in every spelling.
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1="), common::Error);
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1=[]"), common::Error);
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1=f"), common::Error);
+  // Out-of-range indices, including ones large enough to wrap a 32-bit
+  // accumulator back into range (f4294967296 must not alias f0).
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1=f64"), common::Error);
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1=f4294967296"), common::Error);
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1=f18446744073709551616"),
+               common::Error);
+  // A repeated fresh bit inside one slot XORs to constant zero — not a mask.
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1=f0^f0"), common::Error);
+  EXPECT_THROW(RandomnessPlan::parse("x", "r1=[f1^f2^f1]"), common::Error);
+  // The f63 boundary itself is legal.
+  EXPECT_EQ(RandomnessPlan::parse("x", "r1=f63").fresh_count(), 64u);
+}
+
 TEST(RandomnessPlan, ParseAcceptsRegisteredCombos) {
   const RandomnessPlan plan = RandomnessPlan::parse("x", "r1=f0 r2=[f0^f1]");
   EXPECT_EQ(plan.fresh_count(), 2u);

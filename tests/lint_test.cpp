@@ -1,0 +1,232 @@
+// Golden verdicts and exact-verifier agreement for the static leakage
+// linter (src/lint). The ground truth is the paper itself: Eq. (6) must be
+// flagged (R1 at G7), Eq. (9) must pass the glitch rules and fail the
+// transition rules, and exactly the four r7 = r_i (i = 1..4) plans survive
+// the transition model — all cross-checked against verif::exact and
+// eval::search over the full small-plan space.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/core/report.hpp"
+#include "src/core/search.hpp"
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/kronecker.hpp"
+#include "src/gadgets/randomness_plan.hpp"
+#include "src/lint/linter.hpp"
+#include "src/verif/exact.hpp"
+
+namespace sca {
+namespace {
+
+using gadgets::RandomnessPlan;
+using lint::LintModel;
+using lint::LintOptions;
+using lint::LintReport;
+using lint::LintRule;
+using netlist::InputRole;
+using netlist::Netlist;
+
+Netlist build_kron1(const RandomnessPlan& plan) {
+  Netlist nl;
+  const std::vector<gadgets::Bus> shares = {
+      gadgets::make_input_bus(nl, 8, InputRole::kShare, "b0_", 0, 0),
+      gadgets::make_input_bus(nl, 8, InputRole::kShare, "b1_", 0, 1)};
+  gadgets::build_kronecker(nl, shares, plan);
+  return nl;
+}
+
+LintReport lint_kron1(const RandomnessPlan& plan, LintModel model) {
+  const Netlist nl = build_kron1(plan);
+  LintOptions options;
+  options.model = model;
+  return lint::run_lint(nl, options);
+}
+
+// --- paper golden verdicts, glitch model ---------------------------------------
+
+TEST(Lint, FullFreshIsCleanUnderBothModels) {
+  EXPECT_TRUE(
+      lint_kron1(RandomnessPlan::kron1_full_fresh(), LintModel::kGlitch)
+          .clean());
+  EXPECT_TRUE(lint_kron1(RandomnessPlan::kron1_full_fresh(),
+                         LintModel::kGlitchTransition)
+                  .clean());
+}
+
+TEST(Lint, Eq6FlaggedAsFreshReuseInsideG7) {
+  // The CHES 2018 optimization, Eq. (6): r1 = r3 makes the two first-layer
+  // DOM gates' glitch-extended cones meet inside G7 — the linter must point
+  // at exactly that structure.
+  const LintReport report =
+      lint_kron1(RandomnessPlan::kron1_demeyer_eq6(), LintModel::kGlitch);
+  ASSERT_FALSE(report.clean());
+  bool r1_at_g7 = false;
+  for (const lint::LintFinding& f : report.findings) {
+    EXPECT_NE(f.probe_name.find("G7"), std::string::npos)
+        << "finding outside G7: " << f.message;
+    if (f.rule == LintRule::kR1FreshReuse &&
+        f.probe_name.find("G7") != std::string::npos &&
+        !f.shared_fresh.empty())
+      r1_at_g7 = true;
+  }
+  EXPECT_TRUE(r1_at_g7) << to_string(report);
+}
+
+TEST(Lint, SingleReuseR1R3Flagged) {
+  const LintReport report = lint_kron1(
+      RandomnessPlan::kron1_single_reuse_r1r3(), LintModel::kGlitch);
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.findings.front().rule, LintRule::kR1FreshReuse);
+}
+
+TEST(Lint, R5EqualsR6Flagged) {
+  // Section IV's counterexample: sharing the two layer-2 masks leaks even
+  // under the glitch-only model.
+  EXPECT_FALSE(lint_kron1(RandomnessPlan::kron1_r5_equals_r6(),
+                          LintModel::kGlitch)
+                   .clean());
+}
+
+TEST(Lint, Eq9CleanUnderGlitchFlaggedUnderTransition) {
+  // The paper's repaired plan, Eq. (9): secure in the glitch model, broken
+  // once register transitions are observed (Section IV). The transition
+  // finding must be an R4 (the glitch-only subtuple is clean).
+  EXPECT_TRUE(lint_kron1(RandomnessPlan::kron1_proposed_eq9(),
+                         LintModel::kGlitch)
+                  .clean());
+  const LintReport report = lint_kron1(RandomnessPlan::kron1_proposed_eq9(),
+                                       LintModel::kGlitchTransition);
+  ASSERT_FALSE(report.clean());
+  for (const lint::LintFinding& f : report.findings)
+    EXPECT_EQ(f.rule, LintRule::kR4TransitionHazard) << f.message;
+}
+
+TEST(Lint, TransitionModelAcceptsExactlyTheFourPaperSolutions) {
+  // Section IV: of the six r7 = r_i reuse candidates, exactly r7 = r1..r4
+  // survive transitions (r5/r6 feed the same register chain as r7).
+  for (unsigned i = 1; i <= 6; ++i) {
+    std::vector<gadgets::MaskSlotExpr> slots;
+    for (unsigned k = 0; k < 6; ++k)
+      slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << k, false});
+    slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << (i - 1), false});
+    const RandomnessPlan plan("r7-is-r" + std::to_string(i), 6,
+                              std::move(slots));
+    const LintReport report = lint_kron1(plan, LintModel::kGlitchTransition);
+    EXPECT_EQ(report.clean(), i <= 4)
+        << "r7=r" << i << "\n"
+        << to_string(report);
+  }
+}
+
+// --- agreement with the exact verifier over the small-plan space ----------------
+
+// The exact glitch-model verdict for every single-bit slot partition with
+// <= 4 fresh bits — the expensive half of the agreement and pre-filter
+// tests, computed once.
+const eval::SearchResult& exact_partition_search() {
+  static const eval::SearchResult result = [] {
+    eval::SearchOptions options;
+    options.model = eval::ProbeModel::kGlitch;
+    return eval::search_all_partitions(options, /*max_fresh=*/4);
+  }();
+  return result;
+}
+
+// All single-bit slot partitions with <= 4 fresh bits (715 of Bell(7) = 877
+// plans): the linter must agree with verif::exact *exactly* — no false
+// negatives (soundness) and no false positives — and therefore the
+// lint-prefiltered search must return the identical secure-plan set while
+// sending fewer candidates to the exact stage. One test, because the exact
+// sweep is the expensive part and ctest isolates test processes.
+TEST(Lint, AgreesWithExactVerifierAndPrefilterKeepsSecureSet) {
+  const eval::SearchResult& exact = exact_partition_search();
+  ASSERT_EQ(exact.evaluations.size(), 715u);
+
+  std::vector<int> lint_clean(exact.evaluations.size(), 0);
+  common::parallel_for(
+      exact.evaluations.size(), /*threads=*/0, [&](std::size_t i) {
+        lint_clean[i] = lint_kron1(exact.evaluations[i].plan,
+                                   LintModel::kGlitch)
+                            .clean();
+      });
+  for (std::size_t i = 0; i < exact.evaluations.size(); ++i) {
+    const auto& e = exact.evaluations[i];
+    ASSERT_TRUE(e.exact);
+    EXPECT_EQ(static_cast<bool>(lint_clean[i]), e.secure)
+        << e.plan.describe();
+  }
+
+  // Pre-filter identity: exact agreement above already implies it, but the
+  // search plumbing (counters, skip path) deserves its own end-to-end pass.
+  eval::SearchOptions options;
+  options.model = eval::ProbeModel::kGlitch;
+  options.lint_prefilter = true;
+  const eval::SearchResult filtered =
+      eval::search_all_partitions(options, /*max_fresh=*/4);
+
+  const auto secure_names = [](const eval::SearchResult& r) {
+    std::set<std::string> names;
+    for (const eval::PlanEvaluation* e : r.secure_plans())
+      names.insert(e->plan.describe());
+    return names;
+  };
+  EXPECT_EQ(secure_names(exact), secure_names(filtered));
+  EXPECT_EQ(exact.lint_rejected, 0u);
+  EXPECT_GT(filtered.lint_rejected, 0u);
+  EXPECT_LT(filtered.expensive_evaluations, exact.expensive_evaluations);
+  EXPECT_EQ(filtered.lint_rejected + filtered.expensive_evaluations,
+            filtered.evaluations.size());
+}
+
+TEST(Lint, PrefilteredR7SearchMatchesPaperUnderTransitions) {
+  // The r7-reuse search under the transition model with the pre-filter on:
+  // flagged candidates (r7 = r5, r7 = r6) never reach the sampler, and the
+  // secure set is the paper's four solutions plus the full-fresh baseline.
+  eval::SearchOptions options;
+  options.model = eval::ProbeModel::kGlitchTransition;
+  options.lint_prefilter = true;
+  options.simulations = 20'000;
+  const eval::SearchResult result = eval::search_r7_reuse(options);
+  ASSERT_EQ(result.evaluations.size(), 7u);
+  EXPECT_EQ(result.lint_rejected, 2u);
+  std::set<std::string> secure;
+  for (const eval::PlanEvaluation* e : result.secure_plans())
+    secure.insert(e->plan.name());
+  const std::set<std::string> expected = {
+      "kron1/full-fresh-7", "kron1/search-r7-is-r1", "kron1/search-r7-is-r2",
+      "kron1/search-r7-is-r3", "kron1/search-r7-is-r4"};
+  EXPECT_EQ(secure, expected);
+}
+
+// --- report plumbing ------------------------------------------------------------
+
+TEST(Lint, JsonRenderingIsWellFormedAndCarriesFindings) {
+  const LintReport report =
+      lint_kron1(RandomnessPlan::kron1_demeyer_eq6(), LintModel::kGlitch);
+  const std::string json = eval::to_json(report);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"backend\":\"lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"model\":\"glitch\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+  EXPECT_NE(json.find("R1-fresh-reuse"), std::string::npos);
+  EXPECT_NE(json.find("G7"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // one line
+}
+
+TEST(Lint, RejectsRegisterFeedbackLikeTheExactVerifier) {
+  Netlist nl;
+  const netlist::SignalId state = nl.make_reg_placeholder();
+  const netlist::SignalId inv = nl.not_(state);
+  nl.connect_reg(state, inv);
+  nl.add_output("q", state);
+  EXPECT_THROW(lint::run_lint(nl), common::Error);
+}
+
+}  // namespace
+}  // namespace sca
