@@ -18,6 +18,11 @@
 //     --lint                      also run the static leakage linter under
 //                                 the selected --model (pipelines only);
 //                                 findings count as FAIL
+//     --lint-slice                let the linter cut register feedback at
+//                                 annotated state registers and lint the
+//                                 whole design (implies --lint)
+//     --lint-certify              attach an exact counterexample certificate
+//                                 to every lint finding (implies --lint)
 //     --json                      print one machine-readable JSON summary
 //                                 line per backend at the end
 //     --stages N                  split the budget into N evaluation stages
@@ -59,7 +64,8 @@ namespace {
                "usage: %s <netlist.snl> [--model glitch|transition] "
                "[--order N] [--sims N]\n"
                "       [--fixed G=V]... [--threshold X] [--scope PREFIX] "
-               "[--seed N] [--top N] [--exact] [--lint] [--json]\n"
+               "[--seed N] [--top N] [--exact] [--lint] [--lint-slice] "
+               "[--lint-certify] [--json]\n"
                "       [--stages N] [--checkpoint PATH] [--resume] "
                "[--early-stop N] [--early-stop-margin X]\n",
                argv0);
@@ -74,6 +80,8 @@ int main(int argc, char** argv) {
   eval::CampaignOptions options;
   bool run_exact = false;
   bool run_lint = false;
+  bool lint_slice = false;
+  bool lint_certify = false;
   bool json = false;
   std::size_t top = 10;
 
@@ -115,6 +123,10 @@ int main(int argc, char** argv) {
       run_exact = true;
     } else if (arg == "--lint") {
       run_lint = true;
+    } else if (arg == "--lint-slice") {
+      run_lint = lint_slice = true;
+    } else if (arg == "--lint-certify") {
+      run_lint = lint_certify = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--stages") {
@@ -156,6 +168,8 @@ int main(int argc, char** argv) {
                                ? lint::LintModel::kGlitchTransition
                                : lint::LintModel::kGlitch;
       lint_options.scope_filter = options.probe_scope_filter;
+      if (lint_slice) lint_options.feedback = lint::FeedbackMode::kSlice;
+      lint_options.certify = lint_certify;
       try {
         const lint::LintReport report = lint::run_lint(nl, lint_options);
         std::printf("%s\n", to_string(report).c_str());

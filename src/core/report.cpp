@@ -153,7 +153,9 @@ std::string to_json(const lint::LintReport& report) {
      << "\",\"clean\":" << (report.clean() ? "true" : "false")
      << ",\"probes_checked\":" << report.probes_checked
      << ",\"probes_flagged\":" << report.probes_flagged
-     << ",\"otp_cuts\":" << report.cuts_applied << ",\"findings\":[";
+     << ",\"otp_cuts\":" << report.cuts_applied
+     << ",\"sliced\":" << (report.sliced ? "true" : "false")
+     << ",\"cut_registers\":" << report.cut_registers << ",\"findings\":[";
   const auto string_array = [&](const std::vector<std::string>& items) {
     os << "[";
     for (std::size_t i = 0; i < items.size(); ++i)
@@ -171,7 +173,28 @@ std::string to_json(const lint::LintReport& report) {
     string_array(f.shared_fresh);
     os << ",\"completed\":";
     string_array(f.completed);
-    os << ",\"message\":\"" << json_escape(f.message) << "\"}";
+    os << ",\"message\":\"" << json_escape(f.message) << "\"";
+    if (f.certificate) {
+      const lint::LintCertificate& c = *f.certificate;
+      os << ",\"certificate\":{\"available\":"
+         << (c.available ? "true" : "false");
+      if (!c.available) {
+        os << ",\"reason\":\"" << json_escape(c.unavailable_reason) << "\"}";
+      } else {
+        os << ",\"secret_bits\":";
+        string_array(c.secret_bits);
+        os << ",\"secret_a\":" << c.secret_a << ",\"secret_b\":" << c.secret_b
+           << ",\"tv_distance\":" << c.tv_distance
+           << ",\"observation\":" << c.observation
+           << ",\"count_a\":" << c.count_a << ",\"count_b\":" << c.count_b
+           << ",\"assignment\":{";
+        for (std::size_t j = 0; j < c.assignment.size(); ++j)
+          os << (j ? "," : "") << "\"" << json_escape(c.assignment[j].first)
+             << "\":" << (c.assignment[j].second ? 1 : 0);
+        os << "}}";
+      }
+    }
+    os << "}";
   }
   os << "]}";
   return os.str();

@@ -7,7 +7,9 @@ namespace sca::gadgets {
 
 using netlist::InputRole;
 using netlist::Netlist;
+using netlist::ShareLabel;
 using netlist::SignalId;
+using netlist::StateRole;
 
 namespace {
 
@@ -86,21 +88,32 @@ MaskedAes build_masked_aes128(Netlist& nl, const MaskedAesOptions& opts,
   }
 
   // --- state and key registers (with feedback, so placeholders first) ----------
-  auto make_reg_bank = [&](const std::string& base) {
+  // Each register carries a state annotation so netlist::extract_slice can
+  // cut the round feedback and keep the lint attribution: annotation group
+  // `byte` for the state bank, 16 + `byte` for the key bank — mirroring the
+  // secret groups of the primary inputs above. The controller registers stay
+  // unannotated; they are untainted and slice extraction infers them public.
+  auto make_reg_bank = [&](const std::string& base, std::uint32_t group_base) {
     std::vector<std::vector<Bus>> bank(2);
     for (std::uint32_t share = 0; share < 2; ++share)
       for (std::uint32_t byte = 0; byte < 16; ++byte) {
+        const std::uint32_t group = group_base + byte;
+        nl.set_state_group_name(
+            group, nl.scope_prefix() + base + std::to_string(byte));
         Bus bus;
-        for (std::size_t bit = 0; bit < 8; ++bit)
+        for (std::uint32_t bit = 0; bit < 8; ++bit) {
           bus.push_back(nl.make_reg_placeholder());
+          nl.annotate_register(bus.back(), StateRole::kShare,
+                               ShareLabel{group, share, bit});
+        }
         name_bus(nl, bus, base + std::to_string(byte) + "_s" +
                               std::to_string(share) + "_");
         bank[share].push_back(bus);
       }
     return bank;
   };
-  std::vector<std::vector<Bus>> state = make_reg_bank("st");
-  std::vector<std::vector<Bus>> keyreg = make_reg_bank("k");
+  std::vector<std::vector<Bus>> state = make_reg_bank("st", 0);
+  std::vector<std::vector<Bus>> keyreg = make_reg_bank("k", 16);
 
   // --- controller ---------------------------------------------------------------
   nl.push_scope("ctrl");

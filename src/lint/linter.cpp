@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "src/common/check.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/netlist/cone.hpp"
+#include "src/netlist/slice.hpp"
 #include "src/verif/unroll.hpp"
 
 namespace sca::lint {
@@ -59,42 +62,147 @@ LintRule classify(const TupleVerdict& verdict) {
   return LintRule::kR2DomainCrossing;
 }
 
+/// Total-variation distance between two equal-total count histograms.
+double histogram_tv(const std::vector<std::uint32_t>& p,
+                    const std::vector<std::uint32_t>& q) {
+  std::uint64_t total = 0, abs_diff_doubled = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    total += p[i];
+    abs_diff_doubled += p[i] > q[i] ? (p[i] - q[i]) : (q[i] - p[i]);
+  }
+  if (total == 0) return 0.0;
+  return 0.5 * static_cast<double>(abs_diff_doubled) /
+         static_cast<double>(total);
+}
+
+/// Builds the counterexample certificate for one flagged probe by replaying
+/// it through the exact engine.
+LintCertificate make_certificate(const verif::ProbeDistributionEngine& engine,
+                                 netlist::SignalId probe) {
+  LintCertificate cert;
+  const verif::ProbeDistribution dist = engine.distribution(probe);
+  cert.secret_bits = dist.secret_bits;
+  if (!dist.feasible) {
+    cert.unavailable_reason = dist.infeasible_reason;
+    return cert;
+  }
+  if (dist.counts.empty()) {
+    cert.unavailable_reason =
+        "the probe's observation reaches no complete sharing";
+    return cert;
+  }
+  // Most-distinguishing secret pair.
+  std::size_t best_a = 0, best_b = 0;
+  double best_tv = 0.0;
+  for (std::size_t a = 0; a < dist.counts.size(); ++a)
+    for (std::size_t b = a + 1; b < dist.counts.size(); ++b) {
+      const double tv = histogram_tv(dist.counts[a], dist.counts[b]);
+      if (tv > best_tv) {
+        best_tv = tv;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  if (best_tv == 0.0) {
+    cert.unavailable_reason =
+        "exact distributions are identical for every secret value — the "
+        "finding is a lattice over-approximation";
+    return cert;
+  }
+  // Observation value where secret_a's count exceeds secret_b's (one always
+  // exists when the distance is positive, since totals are equal).
+  std::size_t best_obs = 0;
+  std::int64_t best_diff = 0;
+  for (std::size_t o = 0; o < dist.counts[best_a].size(); ++o) {
+    const std::int64_t diff =
+        static_cast<std::int64_t>(dist.counts[best_a][o]) -
+        static_cast<std::int64_t>(dist.counts[best_b][o]);
+    if (diff > best_diff) {
+      best_diff = diff;
+      best_obs = o;
+    }
+  }
+  cert.secret_a = best_a;
+  cert.secret_b = best_b;
+  cert.tv_distance = best_tv;
+  cert.observation = best_obs;
+  cert.count_a = dist.counts[best_a][best_obs];
+  cert.count_b = dist.counts[best_b][best_obs];
+  cert.assignment = engine.preimage(probe, best_a, best_obs);
+  cert.available = true;
+  return cert;
+}
+
 }  // namespace
 
 LintReport run_lint(const Netlist& nl, const LintOptions& options) {
   const bool transition = options.model == LintModel::kGlitchTransition;
+
+  // Feedback handling. kReject keeps the pipeline-only contract (the
+  // sequential_depth error propagates, same as verif::exact); kSlice cuts a
+  // feedback design at its state registers and lints the slice, with the
+  // cut inputs *held* across the unroll window like the registers they
+  // replace.
+  std::optional<netlist::Slice> slice;
+  const Netlist* work = &nl;
+  std::vector<SignalId> held;
+  std::size_t depth = 0;
+  if (options.feedback == FeedbackMode::kSlice) {
+    bool feedback = false;
+    try {
+      depth = verif::sequential_depth(nl);
+    } catch (const common::Error&) {
+      feedback = true;
+    }
+    if (feedback) {
+      slice.emplace(netlist::extract_slice(nl));
+      work = &slice->nl;
+      held = slice->held_inputs;
+      depth = verif::sequential_depth(*work);
+    }
+  } else {
+    depth = verif::sequential_depth(nl);
+  }
+
   // +1 cycle so the probe cycle is past the pipeline's cold start, +1 more
-  // so the transition-extended previous cycle is too. sequential_depth
-  // rejects register feedback (same circuits verif::exact rejects).
-  const std::size_t cycles =
-      verif::sequential_depth(nl) + 1 + (transition ? 1 : 0);
-  const verif::Unrolled unrolled = verif::unroll(nl, cycles);
-  const netlist::StableSupport supports(nl);
-  const TupleAnalyzer analyzer(nl, unrolled);
+  // so the transition-extended previous cycle is too.
+  const std::size_t cycles = depth + 1 + (transition ? 1 : 0);
+  const verif::Unrolled unrolled = verif::unroll(*work, cycles, held);
+  const netlist::StableSupport supports(*work);
+  const TupleAnalyzer analyzer(*work, unrolled);
 
   // Deduplicated probe universe, same semantics as eval's
   // build_probe_universe (not reused to keep lint independent of core):
   // probes observing identical stable sets collapse, named representatives
   // preferred.
   std::map<std::vector<SignalId>, SignalId> unique;
-  for (SignalId id = 0; id < nl.size(); ++id) {
-    const GateKind k = nl.kind(id);
+  for (SignalId id = 0; id < work->size(); ++id) {
+    const GateKind k = work->kind(id);
     if (k == GateKind::kConst0 || k == GateKind::kConst1) continue;
-    if (!options.scope_filter.empty()) {
-      const auto name = nl.explicit_name(id);
-      if (!name || name->rfind(options.scope_filter, 0) != 0) continue;
+    if (!options.scope_filter.empty() || !options.scope_contains.empty()) {
+      const auto name = work->explicit_name(id);
+      if (!name) continue;
+      if (!options.scope_filter.empty() &&
+          name->rfind(options.scope_filter, 0) != 0)
+        continue;
+      if (!options.scope_contains.empty() &&
+          name->find(options.scope_contains) == std::string::npos)
+        continue;
     }
     std::vector<SignalId> observed;
     for (std::size_t idx : supports.support(id).set_bits())
       observed.push_back(supports.stable_points()[idx]);
     if (observed.empty()) continue;
     auto [it, inserted] = unique.try_emplace(std::move(observed), id);
-    if (!inserted && !nl.explicit_name(it->second) && nl.explicit_name(id))
+    if (!inserted && !work->explicit_name(it->second) &&
+        work->explicit_name(id))
       it->second = id;
   }
 
   LintReport report;
   report.model = options.model;
+  report.sliced = slice.has_value();
+  report.cut_registers = slice ? slice->cuts.size() : 0;
   const std::size_t probe_cycle = analyzer.probe_cycle();
 
   for (const auto& [observed, representative] : unique) {
@@ -133,17 +241,18 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
     LintFinding finding;
     finding.rule = rule;
     finding.probe = representative;
-    finding.probe_name = nl.signal_name(representative);
+    finding.probe_name = work->signal_name(representative);
     for (const std::size_t e : witness->residual_elements) {
       const std::size_t back = e / observed.size();  // 0 = probe cycle
-      finding.offending.push_back(nl.signal_name(observed[e % observed.size()]) +
-                                  cycle_suffix(back));
+      finding.offending.push_back(
+          work->signal_name(observed[e % observed.size()]) +
+          cycle_suffix(back));
     }
     for (const SharedFresh& sf : witness->shared_fresh)
-      finding.shared_fresh.push_back(nl.signal_name(sf.input) +
+      finding.shared_fresh.push_back(work->signal_name(sf.input) +
                                      cycle_suffix(probe_cycle - sf.cycle));
     for (const CompletedSharing& c : witness->completed)
-      finding.completed.push_back("s" + std::to_string(c.secret) + ".b" +
+      finding.completed.push_back(work->secret_group_name(c.secret) + ".b" +
                                   std::to_string(c.bit) +
                                   cycle_suffix(probe_cycle - c.cycle));
 
@@ -166,6 +275,40 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
     finding.message = msg.str();
     report.findings.push_back(std::move(finding));
   }
+
+  // --- certification -------------------------------------------------------
+  // Replay every finding through the exact engine built over the same
+  // (possibly sliced) netlist. One engine per probing model amortizes the
+  // unrolling; the per-finding enumerations run in parallel.
+  if (options.certify && !report.findings.empty()) {
+    verif::ExactOptions base = options.certify_options;
+    base.held_inputs = held;
+    base.cycles = 0;  // managed here: minimum sound depth per model
+    bool need_glitch = false, need_transition = false;
+    for (const LintFinding& f : report.findings)
+      (f.rule == LintRule::kR4TransitionHazard ? need_transition : need_glitch) =
+          true;
+    std::optional<verif::ProbeDistributionEngine> glitch_engine;
+    std::optional<verif::ProbeDistributionEngine> transition_engine;
+    if (need_glitch) {
+      verif::ExactOptions o = base;
+      o.transitions = false;
+      glitch_engine.emplace(*work, o);
+    }
+    if (need_transition) {
+      verif::ExactOptions o = base;
+      o.transitions = true;
+      transition_engine.emplace(*work, o);
+    }
+    common::parallel_for(
+        report.findings.size(), options.threads, [&](std::size_t i) {
+          LintFinding& f = report.findings[i];
+          const verif::ProbeDistributionEngine& engine =
+              f.rule == LintRule::kR4TransitionHazard ? *transition_engine
+                                                      : *glitch_engine;
+          f.certificate = make_certificate(engine, f.probe);
+        });
+  }
   return report;
 }
 
@@ -173,10 +316,23 @@ std::string to_string(const LintReport& report) {
   std::ostringstream out;
   out << "lint[" << to_string(report.model) << "]: " << report.probes_checked
       << " probes, " << report.probes_flagged << " flagged, "
-      << report.cuts_applied << " OTP cuts — "
-      << (report.clean() ? "CLEAN" : "FLAGGED") << "\n";
-  for (const LintFinding& f : report.findings)
-    out << "  " << f.message << "\n";
+      << report.cuts_applied << " OTP cuts";
+  if (report.sliced)
+    out << " (feedback sliced at " << report.cut_registers
+        << " state registers)";
+  out << " — " << (report.clean() ? "CLEAN" : "FLAGGED") << "\n";
+  for (const LintFinding& f : report.findings) {
+    out << "  " << f.message;
+    if (f.certificate) {
+      if (f.certificate->available)
+        out << " [certified: secrets " << f.certificate->secret_a << " vs "
+            << f.certificate->secret_b << ", tv=" << f.certificate->tv_distance
+            << "]";
+      else
+        out << " [no certificate: " << f.certificate->unavailable_reason << "]";
+    }
+    out << "\n";
+  }
   return out.str();
 }
 

@@ -38,12 +38,15 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/lint/lattice.hpp"
 #include "src/netlist/ir.hpp"
+#include "src/verif/exact.hpp"
 
 namespace sca::lint {
 
@@ -64,24 +67,79 @@ enum class LintRule {
 /// Short stable identifier: "R1-fresh-reuse", "R2-domain-crossing", ...
 std::string_view lint_rule_name(LintRule rule);
 
+/// What to do with a netlist whose registers loop (the AES state/key banks
+/// and controller): reject like the exact verifier, or cut the feedback at
+/// annotated/inferred state registers (netlist::extract_slice) and lint the
+/// feedback-free slice with held cut inputs.
+enum class FeedbackMode {
+  kReject,
+  kSlice,
+};
+
 struct LintOptions {
   LintModel model = LintModel::kGlitch;
   /// Only probe signals whose hierarchical name starts with this prefix
   /// (same semantics as the campaign's probe_scope_filter).
   std::string scope_filter;
+  /// Only probe signals whose hierarchical name *contains* this substring
+  /// (ANDed with scope_filter) — e.g. ".kron." selects the uniform-fresh
+  /// Kronecker subtrees of all 20 Sbox instances inside the masked AES.
+  std::string scope_contains;
+  /// Register-feedback handling; kReject preserves the pipeline-only
+  /// behaviour (and its common::Error).
+  FeedbackMode feedback = FeedbackMode::kReject;
+  /// Attach a counterexample certificate to every finding by replaying the
+  /// flagged probe through verif::exact — two secret values with provably
+  /// different observation distributions plus a concrete mask assignment.
+  bool certify = false;
+  /// Enumeration limits for certification (cycles/transitions/held_inputs
+  /// are managed by the linter).
+  verif::ExactOptions certify_options;
+  /// Worker threads for certification (0 = SCA_THREADS env, else hardware
+  /// concurrency).
+  unsigned threads = 0;
+};
+
+/// Machine-checkable counterexample attached to a finding: secret values
+/// `secret_a` / `secret_b` (over `secret_bits`) whose exact observation
+/// distributions differ, an observation value where the counts differ, and
+/// a full input assignment reproducing that observation under `secret_a`.
+struct LintCertificate {
+  bool available = false;
+  /// Why no certificate exists ("" when available): enumeration limits, or
+  /// identical exact distributions (the lint finding over-approximates).
+  std::string unavailable_reason;
+  std::vector<std::string> secret_bits;
+  std::uint64_t secret_a = 0;
+  std::uint64_t secret_b = 0;
+  /// Largest total-variation distance between two secret-conditioned
+  /// distributions (> 0 exactly when the probe really leaks).
+  double tv_distance = 0.0;
+  /// Observation value with count_a > count_b under secret_a vs secret_b.
+  std::uint64_t observation = 0;
+  std::uint64_t count_a = 0;
+  std::uint64_t count_b = 0;
+  /// Unrolled input name -> value reproducing `observation` under secret_a.
+  std::vector<std::pair<std::string, bool>> assignment;
 };
 
 struct LintFinding {
   LintRule rule = LintRule::kR1FreshReuse;
+  /// Probe signal id — in the linted netlist, i.e. the *slice* netlist when
+  /// the report says sliced (names are preserved across the cut, so
+  /// probe_name always matches the original design's hierarchy).
   netlist::SignalId probe = netlist::kNoSignal;
   std::string probe_name;  ///< representative signal, e.g. "kron.G7.inner0"
   /// Residual observed signals the hazard lives in, "name@t[-k]" form.
   std::vector<std::string> offending;
   /// Fresh bits shared between offending signals ("f0@t-2"), R1/R4.
   std::vector<std::string> shared_fresh;
-  /// Completed sharing instances, "secret0.bit1@t-2" form.
+  /// Completed sharing instances, "secret0.bit1@t-2" form; cut-register
+  /// sharings use the transferred state-group name ("aes.st3.b1@t-5").
   std::vector<std::string> completed;
   std::string message;  ///< one-line human-readable summary
+  /// Present when LintOptions::certify was set.
+  std::optional<LintCertificate> certificate;
 };
 
 struct LintReport {
@@ -90,12 +148,18 @@ struct LintReport {
   std::size_t probes_checked = 0;
   std::size_t probes_flagged = 0;
   std::size_t cuts_applied = 0;  ///< total OTP eliminations across probes
+  /// True when register feedback was cut into a combinational slice.
+  bool sliced = false;
+  /// Number of registers the slice extraction cut (0 when not sliced).
+  std::size_t cut_registers = 0;
   bool clean() const { return findings.empty(); }
 };
 
-/// Runs the linter over every deduplicated probe position of `nl`. The
-/// netlist must be a pipeline (no register feedback) — circuits the exact
-/// verifier rejects are rejected here too, with the same common::Error.
+/// Runs the linter over every deduplicated probe position of `nl`. With
+/// FeedbackMode::kReject the netlist must be a pipeline (no register
+/// feedback) — circuits the exact verifier rejects are rejected here too,
+/// with the same common::Error. With kSlice, feedback designs are first cut
+/// at their state registers (netlist/slice.hpp) and the slice is linted.
 LintReport run_lint(const netlist::Netlist& nl, const LintOptions& options = {});
 
 /// Renders the report as an aligned text table (one line per finding).

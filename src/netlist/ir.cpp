@@ -83,6 +83,80 @@ void Netlist::add_output(std::string name, SignalId signal) {
   outputs_.push_back(OutputInfo{signal, std::move(name)});
 }
 
+void Netlist::annotate_register(SignalId reg, StateRole role,
+                                ShareLabel label) {
+  require(reg < gates_.size() && gates_[reg].kind == GateKind::kReg,
+          "annotate_register: target is not a register");
+  StateAnnotation a;
+  a.role = role;
+  a.label = role == StateRole::kShare ? label : ShareLabel{};
+  state_annotations_[reg] = a;
+}
+
+const StateAnnotation* Netlist::register_annotation(SignalId reg) const {
+  const auto it = state_annotations_.find(reg);
+  return it == state_annotations_.end() ? nullptr : &it->second;
+}
+
+std::vector<SignalId> Netlist::annotated_registers() const {
+  std::vector<SignalId> out;
+  out.reserve(state_annotations_.size());
+  for (const auto& [id, annotation] : state_annotations_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint32_t Netlist::state_group_count() const {
+  std::uint32_t max_group = 0;
+  bool any = false;
+  for (const auto& [id, annotation] : state_annotations_) {
+    if (annotation.role != StateRole::kShare) continue;
+    any = true;
+    max_group = std::max(max_group, annotation.label.secret);
+  }
+  return any ? max_group + 1 : 0;
+}
+
+void Netlist::set_state_group_name(std::uint32_t group, std::string name) {
+  state_group_names_[group] = std::move(name);
+}
+
+std::string Netlist::state_group_name(std::uint32_t group) const {
+  if (auto it = state_group_names_.find(group); it != state_group_names_.end())
+    return it->second;
+  return "g" + std::to_string(group);
+}
+
+void Netlist::set_secret_group_name(std::uint32_t secret, std::string name) {
+  secret_group_names_[secret] = std::move(name);
+}
+
+std::string Netlist::secret_group_name(std::uint32_t secret) const {
+  if (auto it = secret_group_names_.find(secret);
+      it != secret_group_names_.end())
+    return it->second;
+  return "s" + std::to_string(secret);
+}
+
+namespace {
+std::vector<std::pair<std::uint32_t, std::string>> sorted_entries(
+    const std::unordered_map<std::uint32_t, std::string>& map) {
+  std::vector<std::pair<std::uint32_t, std::string>> out(map.begin(), map.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, std::string>> Netlist::named_state_groups()
+    const {
+  return sorted_entries(state_group_names_);
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+Netlist::named_secret_groups() const {
+  return sorted_entries(secret_group_names_);
+}
+
 void Netlist::push_scope(std::string_view scope) {
   scopes_.emplace_back(scope);
 }

@@ -101,6 +101,24 @@ struct OutputInfo {
   std::string name;
 };
 
+/// Security role of an *architectural state register*, declared by the
+/// builder so slice extraction (netlist/slice.hpp) can cut feedback at the
+/// register and re-introduce its output as a slice input with the right
+/// lint label.
+enum class StateRole : std::uint8_t {
+  kShare,   ///< one bit of one Boolean share of an annotation group
+  kPublic,  ///< public/deterministic control state (e.g. an FSM counter)
+};
+
+/// Annotation of one state register. For kShare, `label.secret` numbers the
+/// *annotation group* (an architectural state word, e.g. AES state byte 3) —
+/// a namespace separate from the input secret groups; slice extraction maps
+/// annotation groups onto fresh secret groups after the input ones.
+struct StateAnnotation {
+  StateRole role = StateRole::kPublic;
+  ShareLabel label;  ///< valid iff role == kShare
+};
+
 class Netlist {
  public:
   Netlist() = default;
@@ -141,6 +159,42 @@ class Netlist {
 
   /// Declares a named primary output.
   void add_output(std::string name, SignalId signal);
+
+  // --- state annotations ------------------------------------------------------
+
+  /// Declares the security role of a state register (slice-extraction cut
+  /// metadata). `label` is required for StateRole::kShare and ignored for
+  /// kPublic; re-annotating a register overwrites the previous annotation.
+  void annotate_register(SignalId reg, StateRole role,
+                         ShareLabel label = ShareLabel{});
+
+  /// The annotation of a register, or nullptr when none was declared.
+  const StateAnnotation* register_annotation(SignalId reg) const;
+
+  /// Registers with an annotation, ascending by signal id.
+  std::vector<SignalId> annotated_registers() const;
+
+  /// Number of annotation groups declared by share-state annotations (max
+  /// group + 1), mirroring secret_group_count() for register state.
+  std::uint32_t state_group_count() const;
+
+  /// Attaches a display name to an annotation group ("aes.st3"); findings
+  /// and reports use it instead of the bare group number.
+  void set_state_group_name(std::uint32_t group, std::string name);
+  /// The attached name, or "g<group>" when none was set.
+  std::string state_group_name(std::uint32_t group) const;
+
+  /// Attaches a display name to an input secret group. Slice extraction
+  /// uses this to carry annotation-group names onto the fresh secret groups
+  /// it creates for cut registers.
+  void set_secret_group_name(std::uint32_t secret, std::string name);
+  /// The attached name, or the conventional "s<secret>" when none was set.
+  std::string secret_group_name(std::uint32_t secret) const;
+
+  /// All explicitly named state/secret groups, ascending by group (for
+  /// lossless serialization).
+  std::vector<std::pair<std::uint32_t, std::string>> named_state_groups() const;
+  std::vector<std::pair<std::uint32_t, std::string>> named_secret_groups() const;
 
   // --- naming / hierarchy -----------------------------------------------------
 
@@ -207,6 +261,9 @@ class Netlist {
   std::vector<std::string> scopes_;
   std::unordered_map<SignalId, std::string> names_;
   std::vector<bool> reg_placeholder_;  // parallels gates_; true = unconnected
+  std::unordered_map<SignalId, StateAnnotation> state_annotations_;
+  std::unordered_map<std::uint32_t, std::string> state_group_names_;
+  std::unordered_map<std::uint32_t, std::string> secret_group_names_;
 };
 
 }  // namespace sca::netlist

@@ -1,0 +1,324 @@
+#include "src/netlist/slice.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/check.hpp"
+#include "src/netlist/cone.hpp"
+
+namespace sca::netlist {
+
+using common::require;
+
+namespace {
+
+// Per-signal taint fixpoint: does any share (secret) / any random input
+// reach the signal through combinational logic *and registers*? Registers
+// forward their D taint, so the computation iterates to a fixpoint (the
+// union is monotone; feedback saturates in a few passes).
+struct Taint {
+  std::vector<bool> secret;
+  std::vector<bool> random;
+};
+
+Taint compute_taint(const Netlist& nl) {
+  Taint t;
+  t.secret.assign(nl.size(), false);
+  t.random.assign(nl.size(), false);
+  for (const InputInfo& in : nl.inputs()) {
+    if (in.role == InputRole::kShare) t.secret[in.signal] = true;
+    if (in.role == InputRole::kRandom) t.random[in.signal] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (SignalId id = 0; id < nl.size(); ++id) {
+      const Gate& g = nl.gate(id);
+      if (g.kind == GateKind::kInput || g.kind == GateKind::kConst0 ||
+          g.kind == GateKind::kConst1)
+        continue;
+      bool s = t.secret[id], r = t.random[id];
+      for (std::size_t k = 0; k < gate_arity(g.kind); ++k) {
+        s = s || t.secret[g.fanin[k]];
+        r = r || t.random[g.fanin[k]];
+      }
+      if (s != t.secret[id] || r != t.random[id]) {
+        t.secret[id] = s;
+        t.random[id] = r;
+        changed = true;
+      }
+    }
+  }
+  return t;
+}
+
+// Register dependency graph: adj[i] = dense indices of the registers in the
+// combinational support of register regs[i]'s D input.
+struct RegGraph {
+  std::vector<SignalId> regs;
+  std::vector<std::size_t> index_of;  // per signal id, SIZE_MAX = not a reg
+  std::vector<std::vector<std::size_t>> adj;
+};
+
+RegGraph build_reg_graph(const Netlist& nl, const StableSupport& supports) {
+  RegGraph g;
+  g.regs = nl.registers();
+  g.index_of.assign(nl.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < g.regs.size(); ++i) g.index_of[g.regs[i]] = i;
+  g.adj.resize(g.regs.size());
+  for (std::size_t i = 0; i < g.regs.size(); ++i) {
+    const SignalId d = nl.gate(g.regs[i]).fanin[0];
+    for (std::size_t idx : supports.support(d).set_bits()) {
+      const SignalId src = supports.stable_points()[idx];
+      if (nl.kind(src) == GateKind::kReg) g.adj[i].push_back(g.index_of[src]);
+    }
+  }
+  return g;
+}
+
+// Iterative Tarjan SCC; on_cycle[i] = register i sits on a feedback cycle
+// (non-trivial SCC, or a self-loop).
+std::vector<bool> registers_on_cycles(const RegGraph& g) {
+  const std::size_t n = g.regs.size();
+  std::vector<std::size_t> index(n, SIZE_MAX), lowlink(n, 0), scc(n, SIZE_MAX);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> scc_size;
+  std::vector<std::size_t> tarjan_stack;
+  std::size_t counter = 0;
+
+  struct Frame {
+    std::size_t v;
+    std::size_t child = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != SIZE_MAX) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root});
+    index[root] = lowlink[root] = counter++;
+    tarjan_stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < g.adj[f.v].size()) {
+        const std::size_t w = g.adj[f.v][f.child++];
+        if (index[w] == SIZE_MAX) {
+          index[w] = lowlink[w] = counter++;
+          tarjan_stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          const std::size_t id = scc_size.size();
+          std::size_t size = 0;
+          std::size_t w;
+          do {
+            w = tarjan_stack.back();
+            tarjan_stack.pop_back();
+            on_stack[w] = false;
+            scc[w] = id;
+            ++size;
+          } while (w != f.v);
+          scc_size.push_back(size);
+        }
+        const std::size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty())
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+
+  std::vector<bool> on_cycle(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scc_size[scc[i]] > 1) on_cycle[i] = true;
+    for (const std::size_t w : g.adj[i])
+      if (w == i) on_cycle[i] = true;
+  }
+  return on_cycle;
+}
+
+// Verifies the register graph minus the cut nodes is acyclic; on failure
+// reports the remaining cycle — it necessarily runs through tainted,
+// unannotated registers (every candidate on a cycle was cut).
+void require_residual_acyclic(const Netlist& nl, const RegGraph& g,
+                              const Taint& taint,
+                              const std::vector<bool>& cut) {
+  const std::size_t n = g.regs.size();
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  struct Frame {
+    std::size_t v;
+    std::size_t child = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (cut[root] || color[root] != Color::kWhite) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root});
+    color[root] = Color::kGray;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < g.adj[f.v].size()) {
+        const std::size_t w = g.adj[f.v][f.child++];
+        if (cut[w]) continue;
+        if (color[w] == Color::kGray) {
+          std::string path;
+          bool in_cycle = false;
+          for (const Frame& fr : frames) {
+            if (fr.v == w) in_cycle = true;
+            if (in_cycle) path += nl.signal_name(g.regs[fr.v]) + " -> ";
+          }
+          path += nl.signal_name(g.regs[w]);
+          const SignalId reg = g.regs[w];
+          throw common::Error(
+              "extract_slice: feedback remains after cutting all annotated/"
+              "public state registers: " + path + " — register " +
+              nl.signal_name(reg) + " carries " +
+              (taint.secret[reg] ? "secret" : "random") +
+              " taint; declare its role with annotate_register");
+        }
+        if (color[w] == Color::kWhite) {
+          color[w] = Color::kGray;
+          frames.push_back({w});
+        }
+      } else {
+        color[f.v] = Color::kBlack;
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SignalId Slice::next_of(SignalId reg) const {
+  for (const SliceCut& c : cuts)
+    if (c.reg == reg) return c.next;
+  return kNoSignal;
+}
+
+Slice extract_slice(const Netlist& nl, const SliceOptions& options) {
+  nl.validate();
+  const StableSupport supports(nl);
+  const RegGraph graph = build_reg_graph(nl, supports);
+  const std::vector<bool> on_cycle = registers_on_cycles(graph);
+  const Taint taint = compute_taint(nl);
+
+  // --- cut selection ----------------------------------------------------------
+  // Cut every register that sits on a feedback cycle and is a candidate:
+  // annotated (share or public), or inferred public (neither secret nor
+  // random taint reaches it — its content is a deterministic function of
+  // public control, so a control input models it exactly). Non-candidate
+  // registers may share an SCC with the state bank (the AES Sbox pipeline
+  // stages do: state -> Sbox -> state); they stay registers, because
+  // cutting the architectural state alone already breaks every cycle —
+  // verified below. A cycle that survives runs through unannotated secret-
+  // or random-holding feedback state, which cannot be soundly re-labeled
+  // as an independent input, so it is reported as an error.
+  std::vector<bool> cut(graph.regs.size(), false);
+  for (std::size_t i = 0; i < graph.regs.size(); ++i) {
+    if (!on_cycle[i]) continue;
+    const SignalId reg = graph.regs[i];
+    const bool inferred_public = !taint.secret[reg] && !taint.random[reg];
+    cut[i] = nl.register_annotation(reg) != nullptr || inferred_public;
+  }
+  require_residual_acyclic(nl, graph, taint, cut);
+
+  for (const auto& [reg, value] : options.pin) {
+    require(reg < nl.size() && graph.index_of[reg] != SIZE_MAX &&
+                cut[graph.index_of[reg]],
+            "extract_slice: pinned register " +
+                (reg < nl.size() ? nl.signal_name(reg) : std::to_string(reg)) +
+                " is not in the cut set");
+  }
+
+  // --- rebuild ---------------------------------------------------------------
+  Slice out;
+  out.first_transfer_group = nl.secret_group_count();
+  out.map.assign(nl.size(), kNoSignal);
+
+  std::unordered_map<SignalId, const InputInfo*> input_info;
+  for (const InputInfo& in : nl.inputs()) input_info[in.signal] = &in;
+
+  // Pass 1 in id order: combinational fanins always precede their gate, so
+  // everything except non-cut register D connections resolves immediately.
+  std::vector<SignalId> deferred_regs;
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    SignalId mapped = kNoSignal;
+    switch (g.kind) {
+      case GateKind::kInput: {
+        const InputInfo* info = input_info.at(id);
+        mapped = out.nl.add_input(info->role, nl.signal_name(id), info->share);
+        break;
+      }
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        mapped = out.nl.constant(g.kind == GateKind::kConst1);
+        break;
+      case GateKind::kReg: {
+        const std::size_t ri = graph.index_of[id];
+        if (!cut[ri]) {
+          mapped = out.nl.make_reg_placeholder();
+          if (auto name = nl.explicit_name(id))
+            out.nl.name_signal(mapped, *name);
+          deferred_regs.push_back(id);
+          break;
+        }
+        SliceCut c;
+        c.reg = id;
+        const StateAnnotation* annotation = nl.register_annotation(id);
+        if (annotation != nullptr && annotation->role == StateRole::kShare) {
+          c.role = InputRole::kShare;
+          c.label = annotation->label;
+          c.label.secret += out.first_transfer_group;
+        }
+        if (const auto it = options.pin.find(id); it != options.pin.end()) {
+          c.pinned = true;
+          mapped = out.nl.constant(it->second);
+        } else {
+          mapped = out.nl.add_input(c.role, nl.signal_name(id), c.label);
+          c.input = mapped;
+          out.held_inputs.push_back(mapped);
+        }
+        out.cuts.push_back(c);
+        break;
+      }
+      default: {
+        const std::size_t arity = gate_arity(g.kind);
+        std::array<SignalId, 3> fan = {kNoSignal, kNoSignal, kNoSignal};
+        for (std::size_t k = 0; k < arity; ++k) fan[k] = out.map[g.fanin[k]];
+        mapped = out.nl.add_gate(g.kind, fan[0], fan[1], fan[2]);
+        if (auto name = nl.explicit_name(id)) out.nl.name_signal(mapped, *name);
+        break;
+      }
+    }
+    out.map[id] = mapped;
+  }
+  // Pass 2: non-cut registers keep their (possibly forward) D connection.
+  for (const SignalId id : deferred_regs)
+    out.nl.connect_reg(out.map[id], out.map[nl.gate(id).fanin[0]]);
+  // Cut registers export their D function as a "next.<name>" output, and
+  // record it for stitched re-simulation.
+  for (SliceCut& c : out.cuts) {
+    c.next = out.map[nl.gate(c.reg).fanin[0]];
+    out.nl.add_output("next." + nl.signal_name(c.reg), c.next);
+  }
+  for (const OutputInfo& o : nl.outputs())
+    out.nl.add_output(o.name, out.map[o.signal]);
+
+  // --- label-transfer bookkeeping --------------------------------------------
+  for (std::uint32_t g = 0; g < nl.secret_group_count(); ++g)
+    out.nl.set_secret_group_name(g, nl.secret_group_name(g));
+  for (std::uint32_t g = 0; g < nl.state_group_count(); ++g)
+    out.nl.set_secret_group_name(out.first_transfer_group + g,
+                                 nl.state_group_name(g));
+
+  out.nl.validate();
+  return out;
+}
+
+}  // namespace sca::netlist

@@ -1,0 +1,99 @@
+// Combinational-slice extraction: cut a sequential netlist at its
+// architectural state registers so the feedback-free remainder can be
+// unrolled, linted and exactly verified.
+//
+// Register feedback (the AES state/key banks and the controller counters)
+// makes verif::unroll impossible — every register would need its value
+// expressed over an unbounded past. The observation that unlocks the whole
+// design is that feedback only flows through *architectural* state: cut the
+// netlist at those registers, treat each cut register's output as a fresh
+// slice input, and the rest of the circuit (the Sbox pipelines, the linear
+// layers, the round function) is a finite pipeline again — one slice that
+// covers every round step, because the controller state that selects the
+// step enters as a public input.
+//
+// Labels transfer across the cut so lint::TupleAnalyzer sharing instances
+// stay attributed to the original secrets:
+//   * registers annotated StateRole::kShare (ir.hpp) become share inputs of
+//     a fresh secret group (`first_transfer_group` + annotation group), and
+//     the annotation group's display name ("aes.st3") rides along;
+//   * annotated-public and *inferred*-public registers (no secret and no
+//     random taint reaches them through any register path — deterministic
+//     control state like the AES phase/round counters) become control
+//     inputs;
+//   * registers on a feedback cycle that are neither annotated nor
+//     provably public are an error — randomness-holding feedback state
+//     cannot be soundly re-labeled as an independent input.
+//
+// Soundness scope: a cut share register is modeled as *held* — one input
+// instance shared by all unroll cycles (verif::unroll held_inputs), because
+// the physical register keeps one sharing of the value for the whole round
+// period. Re-instancing per cycle would model a fresh re-sharing every
+// cycle and silently miss share-completion across pipeline stages. The
+// held model is exact for probes whose cone stays within one round period
+// (every Sbox-internal probe: the 5-stage pipeline is shorter than the
+// 6-cycle round) and conservative across a round-latch boundary (old and
+// new state are identified, which can only add findings, never hide one).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/netlist/ir.hpp"
+
+namespace sca::netlist {
+
+struct SliceOptions {
+  /// Pin selected cut registers to a constant instead of turning them into
+  /// slice inputs — e.g. specialize the controller to one round step. Keys
+  /// must end up in the cut set (it is an error to pin a register the
+  /// extraction does not cut).
+  std::unordered_map<SignalId, bool> pin;
+};
+
+/// One register cut: original register `reg` became slice input `input`
+/// (kNoSignal when pinned), and `next` is the slice signal computing the
+/// register's next value (the original D function).
+struct SliceCut {
+  SignalId reg = kNoSignal;
+  SignalId input = kNoSignal;
+  SignalId next = kNoSignal;
+  bool pinned = false;
+  InputRole role = InputRole::kControl;
+  /// Valid iff role == kShare; `label.secret` is the *slice* secret group
+  /// (first_transfer_group + annotation group).
+  ShareLabel label;
+};
+
+struct Slice {
+  /// The feedback-free slice netlist. Signal names, input roles and secret
+  /// groups of the original are preserved; cut registers appear as inputs
+  /// named after the register, and each cut register's D function is also
+  /// exported as output "next.<register name>".
+  Netlist nl;
+  /// All cuts, ascending by original register id.
+  std::vector<SliceCut> cuts;
+  /// map[orig] = slice signal carrying the original signal's value within
+  /// one cycle (cut registers map to their slice input / pinned constant).
+  std::vector<SignalId> map;
+  /// Slice inputs standing in for cut registers — pass as `held_inputs` to
+  /// verif::unroll / the exact engine so one instance spans all cycles.
+  std::vector<SignalId> held_inputs;
+  /// First slice secret group used for transferred state labels; annotation
+  /// group g of the original maps to secret group first_transfer_group + g.
+  std::uint32_t first_transfer_group = 0;
+
+  /// The slice signal computing cut register `reg`'s next value; kNoSignal
+  /// when `reg` was not cut.
+  SignalId next_of(SignalId reg) const;
+};
+
+/// Extracts the combinational slice of `nl`. Throws common::Error when
+/// register feedback survives the cut — i.e. a cycle runs through a
+/// register that is neither share/public-annotated nor inferred public;
+/// the remaining cycle path and the offending register are spelled out in
+/// the message.
+Slice extract_slice(const Netlist& nl, const SliceOptions& options = {});
+
+}  // namespace sca::netlist

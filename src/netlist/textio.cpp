@@ -52,7 +52,22 @@ std::string write_snl(const Netlist& nl) {
       }
     }
     if (auto n = nl.explicit_name(id)) os << "name " << sid(id) << ' ' << *n << '\n';
+    if (g.kind == GateKind::kReg) {
+      if (const StateAnnotation* a = nl.register_annotation(id)) {
+        os << "state " << sid(id) << ' ';
+        if (a->role == StateRole::kShare)
+          os << "share " << a->label.secret << ' ' << a->label.share << ' '
+             << a->label.bit;
+        else
+          os << "public";
+        os << '\n';
+      }
+    }
   }
+  for (const auto& [group, name] : nl.named_state_groups())
+    os << "stategroup " << group << ' ' << name << '\n';
+  for (const auto& [group, name] : nl.named_secret_groups())
+    os << "secretgroup " << group << ' ' << name << '\n';
   for (const auto& out : nl.outputs())
     os << "output " << out.name << ' ' << sid(out.signal) << '\n';
   return os.str();
@@ -174,6 +189,32 @@ Netlist parse_snl(const std::string& text) {
       require(t.size() == 3, "parse_snl line " + std::to_string(st.line_no) +
                                  ": output needs name and signal");
       nl.add_output(t[1], resolve(t[2], st.line_no));
+    } else if (verb == "state") {
+      require(t.size() >= 3, "parse_snl line " + std::to_string(st.line_no) +
+                                 ": state needs signal and role");
+      const SignalId reg = resolve(t[1], st.line_no);
+      if (t[2] == "public") {
+        nl.annotate_register(reg, StateRole::kPublic);
+      } else if (t[2] == "share") {
+        require(t.size() == 6, "parse_snl line " + std::to_string(st.line_no) +
+                                   ": state share needs group/share/bit");
+        nl.annotate_register(
+            reg, StateRole::kShare,
+            ShareLabel{to_u32(t[3], st.line_no), to_u32(t[4], st.line_no),
+                       to_u32(t[5], st.line_no)});
+      } else {
+        throw common::Error("parse_snl line " + std::to_string(st.line_no) +
+                            ": unknown state role '" + t[2] + "'");
+      }
+    } else if (verb == "stategroup" || verb == "secretgroup") {
+      require(t.size() >= 3, "parse_snl line " + std::to_string(st.line_no) +
+                                 ": " + verb + " needs group and name");
+      std::string full = t[2];
+      for (std::size_t i = 3; i < t.size(); ++i) full += " " + t[i];
+      if (verb == "stategroup")
+        nl.set_state_group_name(to_u32(t[1], st.line_no), full);
+      else
+        nl.set_secret_group_name(to_u32(t[1], st.line_no), full);
     } else if (verb == "name") {
       require(t.size() >= 3, "parse_snl line " + std::to_string(st.line_no) +
                                  ": name needs signal and string");

@@ -11,6 +11,10 @@
 //   reg     <id> <d-operand-id>               d may reference a later id
 //   output  <name> <id>
 //   name    <id> <string>                     optional debug name
+//   state   <id> public                       state-register annotation
+//   state   <id> share <group> <share> <bit>  (slice-extraction cut labels)
+//   stategroup  <group> <name>                display name of a state group
+//   secretgroup <group> <name>                display name of a secret group
 // Ids are arbitrary identifiers; statement order defines signal order, and
 // only registers may reference ids defined later (feedback).
 #pragma once

@@ -21,7 +21,10 @@ using netlist::InputRole;
 using netlist::Netlist;
 using netlist::SignalId;
 
-namespace {
+// Named (not anonymous) so ProbeDistributionEngine::Impl can hold the
+// engine without giving a class with external linkage an internal-linkage
+// subobject; only this translation unit uses it.
+namespace exact_detail {
 
 // Lane patterns for the first six enumeration variables: variable j toggles
 // with period 2^(j+1) across the 64 lanes of one block.
@@ -61,11 +64,12 @@ class ExactEngine {
   ExactEngine(const Netlist& nl, const ExactOptions& options)
       : nl_(nl), options_(options), supports_(nl) {
     const std::size_t depth = sequential_depth(nl);
+    const std::size_t extra = options.transitions ? 1 : 0;
     const std::size_t cycles =
-        options.cycles ? options.cycles : depth + 1;
-    require(cycles > depth,
+        options.cycles ? options.cycles : depth + 1 + extra;
+    require(cycles > depth + extra,
             "exact verifier: unroll depth must exceed sequential depth");
-    unrolled_ = unroll(nl, cycles);
+    unrolled_ = unroll(nl, cycles, options.held_inputs);
     unrolled_supports_.emplace(unrolled_.nl);
     // Index unrolled inputs by signal for classification.
     for (std::size_t i = 0; i < unrolled_.nl.inputs().size(); ++i)
@@ -73,19 +77,24 @@ class ExactEngine {
   }
 
   const Netlist& netlist() const { return nl_; }
+  const Netlist& unrolled_netlist() const { return unrolled_.nl; }
   const ExactOptions& options() const { return options_; }
 
-  /// Observation set (unrolled, last cycle) of a glitch-extended probe on
-  /// original signal `probe`. Sorted ascending.
+  /// Observation set (unrolled, last cycle — and with transitions, the
+  /// previous cycle too) of a glitch-extended probe on original signal
+  /// `probe`. Sorted ascending.
   std::vector<SignalId> observation_of(SignalId probe) const {
     const std::size_t last = unrolled_.cycles - 1;
     std::vector<SignalId> obs;
     for (std::size_t idx : supports_.support(probe).set_bits()) {
       const SignalId stable = supports_.stable_points()[idx];
-      const SignalId mapped = unrolled_.map[last][stable];
-      SCA_ASSERT(mapped != netlist::kNoSignal,
-                 "exact verifier: observation reaches the cold start");
-      obs.push_back(mapped);
+      for (std::size_t back = 0; back <= (options_.transitions ? 1u : 0u);
+           ++back) {
+        const SignalId mapped = unrolled_.map[last - back][stable];
+        SCA_ASSERT(mapped != netlist::kNoSignal,
+                   "exact verifier: observation reaches the cold start");
+        obs.push_back(mapped);
+      }
     }
     std::sort(obs.begin(), obs.end());
     obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
@@ -172,6 +181,75 @@ class ExactEngine {
     return a;
   }
 
+  /// Evaluation cone of an analysis over the unrolled netlist, ascending
+  /// (SSA ids: ascending = topological).
+  std::vector<SignalId> build_cone(const Analysis& a) const {
+    std::vector<SignalId> cone;
+    std::vector<bool> seen(unrolled_.nl.size(), false);
+    std::vector<SignalId> stack(a.observation.begin(), a.observation.end());
+    while (!stack.empty()) {
+      const SignalId id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = true;
+      cone.push_back(id);
+      const netlist::Gate& g = unrolled_.nl.gate(id);
+      const std::size_t arity = netlist::gate_arity(g.kind);
+      for (std::size_t i = 0; i < arity; ++i) stack.push_back(g.fanin[i]);
+    }
+    std::sort(cone.begin(), cone.end());
+    return cone;
+  }
+
+  /// Evaluates the cone 64-lane bit-parallel; inputs must be driven in
+  /// `values` beforehand.
+  void eval_cone(const std::vector<SignalId>& cone,
+                 std::vector<std::uint64_t>& values) const {
+    for (SignalId id : cone) {
+      const netlist::Gate& g = unrolled_.nl.gate(id);
+      switch (g.kind) {
+        case GateKind::kInput:
+          break;
+        case GateKind::kConst0:
+          values[id] = 0;
+          break;
+        case GateKind::kConst1:
+          values[id] = ~std::uint64_t{0};
+          break;
+        case GateKind::kBuf:
+          values[id] = values[g.fanin[0]];
+          break;
+        case GateKind::kNot:
+          values[id] = ~values[g.fanin[0]];
+          break;
+        case GateKind::kAnd:
+          values[id] = values[g.fanin[0]] & values[g.fanin[1]];
+          break;
+        case GateKind::kNand:
+          values[id] = ~(values[g.fanin[0]] & values[g.fanin[1]]);
+          break;
+        case GateKind::kOr:
+          values[id] = values[g.fanin[0]] | values[g.fanin[1]];
+          break;
+        case GateKind::kNor:
+          values[id] = ~(values[g.fanin[0]] | values[g.fanin[1]]);
+          break;
+        case GateKind::kXor:
+          values[id] = values[g.fanin[0]] ^ values[g.fanin[1]];
+          break;
+        case GateKind::kXnor:
+          values[id] = ~(values[g.fanin[0]] ^ values[g.fanin[1]]);
+          break;
+        case GateKind::kMux:
+          values[id] = (~values[g.fanin[0]] & values[g.fanin[1]]) |
+                       (values[g.fanin[0]] & values[g.fanin[2]]);
+          break;
+        case GateKind::kReg:
+          SCA_ASSERT(false, "exact verifier: register in unrolled netlist");
+      }
+    }
+  }
+
   /// Exact joint histogram counts[secret_value][observation_value] for an
   /// analysis. secret_value packs the secret-bit variables in
   /// secret_var_indices order.
@@ -183,23 +261,7 @@ class ExactEngine {
         std::size_t{1} << n_secret,
         std::vector<std::uint32_t>(std::size_t{1} << n_obs, 0));
 
-    // Evaluation cone over the unrolled netlist.
-    std::vector<SignalId> cone;
-    {
-      std::vector<bool> seen(unrolled_.nl.size(), false);
-      std::vector<SignalId> stack(a.observation.begin(), a.observation.end());
-      while (!stack.empty()) {
-        const SignalId id = stack.back();
-        stack.pop_back();
-        if (seen[id]) continue;
-        seen[id] = true;
-        cone.push_back(id);
-        const netlist::Gate& g = unrolled_.nl.gate(id);
-        const std::size_t arity = netlist::gate_arity(g.kind);
-        for (std::size_t i = 0; i < arity; ++i) stack.push_back(g.fanin[i]);
-      }
-      std::sort(cone.begin(), cone.end());  // SSA ids: ascending = topological
-    }
+    const std::vector<SignalId> cone = build_cone(a);
 
     std::vector<std::uint64_t> values(unrolled_.nl.size(), 0);
     const std::size_t blocks =
@@ -212,56 +274,13 @@ class ExactEngine {
         var_words[j] = j < 6 ? kLanePattern[j]
                              : (((block >> (j - 6)) & 1u) ? ~std::uint64_t{0}
                                                           : 0);
-      // Drive inputs.
+      // Drive inputs and evaluate the cone.
       for (const InputExpr& expr : a.input_exprs) {
         std::uint64_t w = 0;
         for (std::size_t v : expr.var_indices) w ^= var_words[v];
         values[expr.input] = w;
       }
-      // Evaluate the cone.
-      for (SignalId id : cone) {
-        const netlist::Gate& g = unrolled_.nl.gate(id);
-        switch (g.kind) {
-          case GateKind::kInput:
-            break;
-          case GateKind::kConst0:
-            values[id] = 0;
-            break;
-          case GateKind::kConst1:
-            values[id] = ~std::uint64_t{0};
-            break;
-          case GateKind::kBuf:
-            values[id] = values[g.fanin[0]];
-            break;
-          case GateKind::kNot:
-            values[id] = ~values[g.fanin[0]];
-            break;
-          case GateKind::kAnd:
-            values[id] = values[g.fanin[0]] & values[g.fanin[1]];
-            break;
-          case GateKind::kNand:
-            values[id] = ~(values[g.fanin[0]] & values[g.fanin[1]]);
-            break;
-          case GateKind::kOr:
-            values[id] = values[g.fanin[0]] | values[g.fanin[1]];
-            break;
-          case GateKind::kNor:
-            values[id] = ~(values[g.fanin[0]] | values[g.fanin[1]]);
-            break;
-          case GateKind::kXor:
-            values[id] = values[g.fanin[0]] ^ values[g.fanin[1]];
-            break;
-          case GateKind::kXnor:
-            values[id] = ~(values[g.fanin[0]] ^ values[g.fanin[1]]);
-            break;
-          case GateKind::kMux:
-            values[id] = (~values[g.fanin[0]] & values[g.fanin[1]]) |
-                         (values[g.fanin[0]] & values[g.fanin[2]]);
-            break;
-          case GateKind::kReg:
-            SCA_ASSERT(false, "exact verifier: register in unrolled netlist");
-        }
-      }
+      eval_cone(cone, values);
       // Accumulate.
       for (std::size_t lane = 0; lane < lanes_used; ++lane) {
         std::uint64_t secret_value = 0;
@@ -275,6 +294,53 @@ class ExactEngine {
       }
     }
     return counts;
+  }
+
+  /// First enumeration assignment hitting (secret_value, obs_value); every
+  /// input of the analysis gets its concrete value, by unrolled input name.
+  /// Empty when the joint count is zero.
+  std::vector<std::pair<std::string, bool>> preimage(
+      const Analysis& a, std::uint64_t want_secret,
+      std::uint64_t want_obs) const {
+    const std::size_t nv = a.vars.size();
+    const std::size_t n_secret = a.secret_var_indices.size();
+    const std::size_t n_obs = a.observation.size();
+    const std::vector<SignalId> cone = build_cone(a);
+
+    std::vector<std::uint64_t> values(unrolled_.nl.size(), 0);
+    const std::size_t blocks = nv > 6 ? (std::size_t{1} << (nv - 6)) : 1;
+    const std::size_t lanes_used = nv >= 6 ? 64 : (std::size_t{1} << nv);
+    std::vector<std::uint64_t> var_words(nv);
+    for (std::size_t block = 0; block < blocks; ++block) {
+      for (std::size_t j = 0; j < nv; ++j)
+        var_words[j] = j < 6 ? kLanePattern[j]
+                             : (((block >> (j - 6)) & 1u) ? ~std::uint64_t{0}
+                                                          : 0);
+      for (const InputExpr& expr : a.input_exprs) {
+        std::uint64_t w = 0;
+        for (std::size_t v : expr.var_indices) w ^= var_words[v];
+        values[expr.input] = w;
+      }
+      eval_cone(cone, values);
+      for (std::size_t lane = 0; lane < lanes_used; ++lane) {
+        std::uint64_t secret_value = 0;
+        for (std::size_t k = 0; k < n_secret; ++k)
+          secret_value |=
+              ((var_words[a.secret_var_indices[k]] >> lane) & 1u) << k;
+        if (secret_value != want_secret) continue;
+        std::uint64_t obs_value = 0;
+        for (std::size_t k = 0; k < n_obs; ++k)
+          obs_value |= ((values[a.observation[k]] >> lane) & 1u) << k;
+        if (obs_value != want_obs) continue;
+        std::vector<std::pair<std::string, bool>> out;
+        out.reserve(a.input_exprs.size());
+        for (const InputExpr& expr : a.input_exprs)
+          out.emplace_back(unrolled_.nl.signal_name(expr.input),
+                           ((values[expr.input] >> lane) & 1u) != 0);
+        return out;
+      }
+    }
+    return {};
   }
 
  private:
@@ -302,7 +368,11 @@ double tv_distance(const std::vector<std::uint32_t>& p,
          static_cast<double>(total_p);
 }
 
-}  // namespace
+}  // namespace exact_detail
+
+using exact_detail::Analysis;
+using exact_detail::ExactEngine;
+using exact_detail::tv_distance;
 
 std::vector<const ExactProbeResult*> ExactReport::leaking() const {
   std::vector<const ExactProbeResult*> out;
@@ -387,18 +457,63 @@ ExactReport verify_first_order_glitch(const Netlist& nl,
 std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
 exact_probe_distribution(const Netlist& nl, SignalId probe,
                          const ExactOptions& options) {
+  const ProbeDistributionEngine engine(nl, options);
+  const ProbeDistribution dist = engine.distribution(probe);
+  require(dist.feasible,
+          "exact_probe_distribution: probe exceeds enumeration limits");
+  std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>> out;
+  for (std::size_t v = 0; v < dist.counts.size(); ++v)
+    for (std::size_t o = 0; o < dist.counts[v].size(); ++o)
+      if (dist.counts[v][o]) out[v][o] = dist.counts[v][o];
+  return out;
+}
+
+struct ProbeDistributionEngine::Impl {
+  ExactEngine engine;
+  Impl(const Netlist& nl, const ExactOptions& options) : engine(nl, options) {}
+};
+
+ProbeDistributionEngine::ProbeDistributionEngine(const Netlist& nl,
+                                                 const ExactOptions& options) {
   nl.validate();
-  ExactEngine engine(nl, options);
+  impl_ = std::make_unique<Impl>(nl, options);
+}
+
+ProbeDistributionEngine::~ProbeDistributionEngine() = default;
+
+ProbeDistribution ProbeDistributionEngine::distribution(SignalId probe) const {
+  const ExactEngine& engine = impl_->engine;
+  ProbeDistribution out;
   const auto observation = engine.observation_of(probe);
   const Analysis analysis = engine.analyze(observation);
-  require(analysis.feasible,
-          "exact_probe_distribution: probe exceeds enumeration limits");
-  const auto counts = engine.enumerate(analysis);
-  std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>> out;
-  for (std::size_t v = 0; v < counts.size(); ++v)
-    for (std::size_t o = 0; o < counts[v].size(); ++o)
-      if (counts[v][o]) out[v][o] = counts[v][o];
+  for (const std::size_t v : analysis.secret_var_indices) {
+    const auto& var = analysis.vars[v];
+    out.secret_bits.push_back(engine.netlist().secret_group_name(var.secret) +
+                              ".b" + std::to_string(var.bit));
+  }
+  for (const SignalId sig : analysis.observation)
+    out.observation.push_back(engine.unrolled_netlist().signal_name(sig));
+  out.free_bits = analysis.vars.size() - analysis.secret_var_indices.size();
+  if (!analysis.feasible) {
+    out.feasible = false;
+    out.infeasible_reason =
+        "enumeration over " + std::to_string(analysis.vars.size()) +
+        " variables / " + std::to_string(observation.size()) +
+        " observation bits exceeds the configured limits";
+    return out;
+  }
+  if (!analysis.secret_var_indices.empty())
+    out.counts = engine.enumerate(analysis);
   return out;
+}
+
+std::vector<std::pair<std::string, bool>> ProbeDistributionEngine::preimage(
+    SignalId probe, std::uint64_t secret, std::uint64_t obs) const {
+  const ExactEngine& engine = impl_->engine;
+  const auto observation = engine.observation_of(probe);
+  const Analysis analysis = engine.analyze(observation);
+  if (!analysis.feasible) return {};
+  return engine.preimage(analysis, secret, obs);
 }
 
 std::string to_string(const ExactReport& report) {

@@ -18,7 +18,9 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/netlist/ir.hpp"
@@ -30,12 +32,20 @@ struct ExactOptions {
   std::size_t max_vars = 26;
   /// Maximum observation width (distribution alphabet = 2^bits).
   std::size_t max_observation_bits = 16;
-  /// Unroll depth; 0 = sequential_depth(nl) + 1 (the minimum sound value).
+  /// Unroll depth; 0 = sequential_depth(nl) + 1 (+1 with transitions), the
+  /// minimum sound value.
   std::size_t cycles = 0;
   /// Worker threads for the per-probe enumerations (0 = SCA_THREADS env,
   /// else hardware concurrency). The verdict is exact either way; results
   /// are reported in the same deterministic order for any thread count.
   unsigned threads = 0;
+  /// Transition-extended probes: the observation additionally includes the
+  /// previous cycle's values of every observed stable signal (the model of
+  /// lint::LintModel::kGlitchTransition), so R4 findings can be certified.
+  bool transitions = false;
+  /// Inputs instantiated once and shared by all unroll cycles — the slice
+  /// inputs standing in for cut state registers (netlist/slice.hpp).
+  std::vector<netlist::SignalId> held_inputs;
 };
 
 struct ExactProbeResult {
@@ -80,6 +90,48 @@ ExactReport verify_first_order_glitch(const netlist::Netlist& nl,
 std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
 exact_probe_distribution(const netlist::Netlist& nl, netlist::SignalId probe,
                          const ExactOptions& options = {});
+
+/// The exact conditional distribution of one probe, with the metadata a
+/// counterexample certificate needs.
+struct ProbeDistribution {
+  bool feasible = true;
+  std::string infeasible_reason;
+  /// Names of the secret bits the observation reaches ("s0.b3", or the
+  /// netlist's secret_group_name); bit k of a secret value below is
+  /// secret_bits[k].
+  std::vector<std::string> secret_bits;
+  /// Names of the observed (unrolled) stable signals; bit k of an
+  /// observation value is observation[k].
+  std::vector<std::string> observation;
+  std::size_t free_bits = 0;
+  /// counts[v][o] = exact count of observation o given secret value v;
+  /// empty when infeasible or no secret is reachable.
+  std::vector<std::vector<std::uint32_t>> counts;
+};
+
+/// Amortizes the unrolling and support analysis over many probe queries on
+/// one netlist — the certificate generator behind lint findings. All
+/// methods are const and thread-safe.
+class ProbeDistributionEngine {
+ public:
+  ProbeDistributionEngine(const netlist::Netlist& nl,
+                          const ExactOptions& options = {});
+  ~ProbeDistributionEngine();
+
+  ProbeDistribution distribution(netlist::SignalId probe) const;
+
+  /// A full input assignment (unrolled input name -> value) reproducing
+  /// observation value `obs` under secret value `secret` — the mask
+  /// assignment half of a counterexample certificate. Empty when no
+  /// assignment exists (count zero) or the probe is infeasible.
+  std::vector<std::pair<std::string, bool>> preimage(netlist::SignalId probe,
+                                                     std::uint64_t secret,
+                                                     std::uint64_t obs) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Renders the report as an aligned text table.
 std::string to_string(const ExactReport& report);

@@ -48,10 +48,21 @@ std::size_t sequential_depth(const Netlist& nl) {
       Frame& frame = stack.back();
       if (frame.next < frame.deps.size()) {
         const SignalId dep = frame.deps[frame.next++];
-        if (state[dep] == State::kGray)
+        if (state[dep] == State::kGray) {
+          // The gray frames from `dep` up to the top of the stack are the
+          // cycle; report the whole path, not just the re-encountered node.
+          std::string path;
+          bool in_cycle = false;
+          for (const Frame& f : stack) {
+            if (f.reg == dep) in_cycle = true;
+            if (in_cycle) path += nl.signal_name(f.reg) + " -> ";
+          }
+          path += nl.signal_name(dep);
           throw common::Error(
-              "sequential_depth: register feedback cycle through " +
-              nl.signal_name(dep) + " — circuit is not a pipeline");
+              "sequential_depth: register feedback cycle " + path +
+              " — circuit is not a pipeline (cut it with "
+              "netlist::extract_slice, or annotate the loop registers)");
+        }
         if (state[dep] == State::kWhite) {
           state[dep] = State::kGray;
           stack.push_back({dep, reg_deps(dep)});
@@ -71,9 +82,16 @@ std::size_t sequential_depth(const Netlist& nl) {
   return max_depth;
 }
 
-Unrolled unroll(const Netlist& nl, std::size_t cycles) {
+Unrolled unroll(const Netlist& nl, std::size_t cycles,
+                const std::vector<SignalId>& held_inputs) {
   require(cycles >= 1, "unroll: need at least one cycle");
   nl.validate();
+  std::vector<bool> held(nl.size(), false);
+  for (SignalId id : held_inputs) {
+    require(id < nl.size() && nl.kind(id) == GateKind::kInput,
+            "unroll: held signal is not a primary input");
+    held[id] = true;
+  }
 
   Unrolled out;
   out.cycles = cycles;
@@ -86,13 +104,20 @@ Unrolled unroll(const Netlist& nl, std::size_t cycles) {
       SignalId mapped = netlist::kNoSignal;
       switch (g.kind) {
         case GateKind::kInput: {
+          if (held[id] && c > 0) {
+            // Held input: every cycle observes the single cycle-0 instance.
+            mapped = out.map[0][id];
+            break;
+          }
           // Fresh input instance per cycle.
           const netlist::InputInfo* info = nullptr;
           for (const auto& in : nl.inputs())
             if (in.signal == id) info = &in;
           SCA_ASSERT(info != nullptr, "unroll: input without info");
           mapped = out.nl.add_input(
-              info->role, nl.signal_name(id) + "@c" + std::to_string(c),
+              info->role,
+              held[id] ? nl.signal_name(id)
+                       : nl.signal_name(id) + "@c" + std::to_string(c),
               info->share);
           out.input_cycle.push_back(c);
           out.input_original.push_back(id);

@@ -9,7 +9,10 @@
 //
 // Only pipelines (acyclic register dependency graphs) can be unrolled this
 // way; circuits with register feedback (e.g. the AES controller) are
-// rejected — they are evaluated with the sampling engine instead.
+// rejected — they are either evaluated with the sampling engine or first
+// cut into a feedback-free slice (netlist/slice.hpp), whose cut-register
+// inputs are then unrolled as *held* inputs (one instance shared by every
+// cycle, matching a register that keeps its value over the whole window).
 #pragma once
 
 #include <cstdint>
@@ -34,12 +37,20 @@ struct Unrolled {
 };
 
 /// Longest register-to-register chain + 1; 0 for purely combinational
-/// circuits. Throws sca::common::Error if the register graph has a cycle.
+/// circuits. Throws sca::common::Error if the register graph has a cycle;
+/// the message spells out the full cycle path ("a -> b -> ... -> a") so the
+/// offending feedback registers can be annotated and cut.
 std::size_t sequential_depth(const netlist::Netlist& nl);
 
 /// Unrolls `nl` over `cycles` cycles. Signals whose value at a given cycle
 /// would still depend on the cold start are mapped to kNoSignal; at the last
 /// cycle, all signals are fully defined iff cycles > sequential_depth(nl).
-Unrolled unroll(const netlist::Netlist& nl, std::size_t cycles);
+///
+/// Inputs listed in `held_inputs` are instantiated once (at cycle 0) and
+/// every later cycle aliases that single instance — the model of a slice
+/// input standing in for a cut register that holds its value across the
+/// whole unroll window. All other inputs get a fresh instance per cycle.
+Unrolled unroll(const netlist::Netlist& nl, std::size_t cycles,
+                const std::vector<netlist::SignalId>& held_inputs = {});
 
 }  // namespace sca::verif

@@ -69,6 +69,8 @@ TEST(Lint, Eq6FlaggedAsFreshReuseInsideG7) {
   for (const lint::LintFinding& f : report.findings) {
     EXPECT_NE(f.probe_name.find("G7"), std::string::npos)
         << "finding outside G7: " << f.message;
+    // Certification is opt-in: without LintOptions::certify there is none.
+    EXPECT_FALSE(f.certificate.has_value());
     if (f.rule == LintRule::kR1FreshReuse &&
         f.probe_name.find("G7") != std::string::npos &&
         !f.shared_fresh.empty())
@@ -123,6 +125,42 @@ TEST(Lint, TransitionModelAcceptsExactlyTheFourPaperSolutions) {
   }
 }
 
+// --- counterexample certificates -----------------------------------------------
+
+// Replays one finding's certificate through verif::exact_probe_distribution
+// and collects every way it fails to be a real distinguisher: the two
+// secret values must induce different distributions and the chosen
+// observation must separate them with exactly the recorded counts. Returns
+// human-readable problems (empty = valid certificate); gtest-free so it can
+// run on worker threads.
+std::vector<std::string> certificate_problems(
+    const Netlist& nl, const lint::LintFinding& f,
+    const verif::ExactOptions& exact_options) {
+  std::vector<std::string> problems;
+  const auto fail = [&](const std::string& what) {
+    problems.push_back(f.message + " — " + what);
+  };
+  if (!f.certificate.has_value()) return {f.message + " — no certificate"};
+  const lint::LintCertificate& cert = *f.certificate;
+  if (!cert.available) return {f.message + " — " + cert.unavailable_reason};
+  if (cert.tv_distance <= 0.0) fail("zero tv distance");
+  if (cert.count_a <= cert.count_b) fail("counts do not separate");
+  if (cert.assignment.empty()) fail("no witness assignment");
+
+  const auto distributions =
+      verif::exact_probe_distribution(nl, f.probe, exact_options);
+  const auto& dist_a = distributions.at(cert.secret_a);
+  const auto& dist_b = distributions.at(cert.secret_b);
+  if (dist_a == dist_b) fail("distributions are identical on replay");
+  const auto it_a = dist_a.find(cert.observation);
+  if (it_a == dist_a.end() || it_a->second != cert.count_a)
+    fail("count_a does not replay");
+  const auto it_b = dist_b.find(cert.observation);
+  if ((it_b == dist_b.end() ? 0u : it_b->second) != cert.count_b)
+    fail("count_b does not replay");
+  return problems;
+}
+
 // --- agreement with the exact verifier over the small-plan space ----------------
 
 // The exact glitch-model verdict for every single-bit slot partition with
@@ -139,27 +177,49 @@ const eval::SearchResult& exact_partition_search() {
 
 // All single-bit slot partitions with <= 4 fresh bits (715 of Bell(7) = 877
 // plans): the linter must agree with verif::exact *exactly* — no false
-// negatives (soundness) and no false positives — and therefore the
-// lint-prefiltered search must return the identical secure-plan set while
-// sending fewer candidates to the exact stage. One test, because the exact
-// sweep is the expensive part and ctest isolates test processes.
+// negatives (soundness) and no false positives — every finding across the
+// sweep must carry a replay-validated counterexample certificate, and
+// therefore the lint-prefiltered search must return the identical
+// secure-plan set while sending fewer candidates to the exact stage. One
+// test, because the exact sweep is the expensive part and ctest isolates
+// test processes.
 TEST(Lint, AgreesWithExactVerifierAndPrefilterKeepsSecureSet) {
   const eval::SearchResult& exact = exact_partition_search();
   ASSERT_EQ(exact.evaluations.size(), 715u);
 
+  // Per plan: lint with certification, then replay every certificate
+  // (gtest-free on the workers; assertions run below on the main thread).
   std::vector<int> lint_clean(exact.evaluations.size(), 0);
+  std::vector<std::size_t> certificates(exact.evaluations.size(), 0);
+  std::vector<std::vector<std::string>> problems(exact.evaluations.size());
   common::parallel_for(
       exact.evaluations.size(), /*threads=*/0, [&](std::size_t i) {
-        lint_clean[i] = lint_kron1(exact.evaluations[i].plan,
-                                   LintModel::kGlitch)
-                            .clean();
+        const Netlist nl = build_kron1(exact.evaluations[i].plan);
+        LintOptions options;
+        options.certify = true;
+        options.threads = 1;  // already parallel over plans
+        const LintReport report = lint::run_lint(nl, options);
+        lint_clean[i] = report.clean();
+        for (const lint::LintFinding& f : report.findings) {
+          ++certificates[i];
+          for (std::string& p :
+               certificate_problems(nl, f, verif::ExactOptions{}))
+            problems[i].push_back(std::move(p));
+        }
       });
+  std::size_t certified = 0;
   for (std::size_t i = 0; i < exact.evaluations.size(); ++i) {
     const auto& e = exact.evaluations[i];
     ASSERT_TRUE(e.exact);
     EXPECT_EQ(static_cast<bool>(lint_clean[i]), e.secure)
         << e.plan.describe();
+    // Clean plans have no findings, hence no certificates; flagged plans
+    // carry only replay-validated ones.
+    for (const std::string& p : problems[i])
+      ADD_FAILURE() << e.plan.describe() << ": " << p;
+    certified += certificates[i];
   }
+  EXPECT_GT(certified, 0u);
 
   // Pre-filter identity: exact agreement above already implies it, but the
   // search plumbing (counters, skip path) deserves its own end-to-end pass.
@@ -201,6 +261,47 @@ TEST(Lint, PrefilteredR7SearchMatchesPaperUnderTransitions) {
       "kron1/full-fresh-7", "kron1/search-r7-is-r1", "kron1/search-r7-is-r2",
       "kron1/search-r7-is-r3", "kron1/search-r7-is-r4"};
   EXPECT_EQ(secure, expected);
+}
+
+TEST(Lint, TransitionFindingsGetTransitionModelCertificates) {
+  // An R4 hazard is invisible to a glitch-only enumeration, so its
+  // certificate must come from the transition-extended engine. Minimal
+  // Section IV shape (full Eq. (9) needs a 2^32 enumeration — too slow for
+  // tier 1): both shares are masked with the *same* fresh bit but at
+  // register depths 1 and 2, so any single cycle shows two independently
+  // masked values while consecutive cycles expose x0 ^ r and x1 ^ r of the
+  // same r instance.
+  Netlist nl;
+  const netlist::SignalId x0 =
+      nl.add_input(InputRole::kShare, "x0", netlist::ShareLabel{0, 0, 0});
+  const netlist::SignalId x1 =
+      nl.add_input(InputRole::kShare, "x1", netlist::ShareLabel{0, 1, 0});
+  const netlist::SignalId r = nl.add_input(InputRole::kRandom, "r");
+  const netlist::SignalId a = nl.reg(nl.xor_(x0, r));
+  nl.name_signal(a, "a_reg");
+  const netlist::SignalId b = nl.reg(nl.reg(nl.xor_(x1, r)));
+  nl.name_signal(b, "b_reg");
+  const netlist::SignalId q = nl.and_(a, b);
+  nl.name_signal(q, "q");
+  nl.add_output("q", q);
+  nl.validate();
+
+  ASSERT_TRUE(lint::run_lint(nl).clean());  // glitch model: two fresh masks
+  LintOptions options;
+  options.model = LintModel::kGlitchTransition;
+  options.certify = true;
+  const LintReport report = lint::run_lint(nl, options);
+  ASSERT_FALSE(report.clean());
+  verif::ExactOptions exact_options;
+  exact_options.transitions = true;
+  std::size_t r4 = 0;
+  for (const lint::LintFinding& f : report.findings) {
+    if (f.rule == LintRule::kR4TransitionHazard) ++r4;
+    for (const std::string& problem :
+         certificate_problems(nl, f, exact_options))
+      ADD_FAILURE() << problem;
+  }
+  EXPECT_GT(r4, 0u) << to_string(report);
 }
 
 // --- report plumbing ------------------------------------------------------------

@@ -1,0 +1,303 @@
+// Combinational-slice extraction (src/netlist/slice.hpp): label transfer
+// across register cuts, public-state inference, feedback diagnostics, SNL
+// round-tripping of state annotations, and the stitched-simulation property
+// — cycle-accurate simulation of the extracted MaskedAes128 slice must be
+// bit-identical to the full sequential design for every mapped signal.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/masked_aes.hpp"
+#include "src/netlist/ir.hpp"
+#include "src/netlist/slice.hpp"
+#include "src/netlist/textio.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/verif/unroll.hpp"
+
+namespace sca {
+namespace {
+
+using netlist::GateKind;
+using netlist::InputRole;
+using netlist::Netlist;
+using netlist::ShareLabel;
+using netlist::SignalId;
+using netlist::Slice;
+using netlist::SliceCut;
+using netlist::SliceOptions;
+using netlist::StateRole;
+
+// A miniature AES-shaped core: a 2-share secret state register pair with
+// XOR feedback through fresh randomness, plus an unannotated 1-bit counter
+// that must be *inferred* public. Layout:
+//   st_s0, st_s1   annotated share regs (group 0), feedback st ^= r
+//   cnt            unannotated toggle reg (cnt ^= 1 via NOT)
+Netlist build_mini_state_machine(SignalId* st0 = nullptr,
+                                 SignalId* st1 = nullptr,
+                                 SignalId* cnt_out = nullptr) {
+  Netlist nl;
+  const SignalId x0 = nl.add_input(InputRole::kShare, "x_s0",
+                                   ShareLabel{0, 0, 0});
+  const SignalId x1 = nl.add_input(InputRole::kShare, "x_s1",
+                                   ShareLabel{0, 1, 0});
+  const SignalId r = nl.add_input(InputRole::kRandom, "r");
+  const SignalId load = nl.add_input(InputRole::kControl, "load");
+
+  const SignalId st_s0 = nl.make_reg_placeholder();
+  nl.name_signal(st_s0, "st_s0");
+  nl.annotate_register(st_s0, StateRole::kShare, ShareLabel{0, 0, 0});
+  const SignalId st_s1 = nl.make_reg_placeholder();
+  nl.name_signal(st_s1, "st_s1");
+  nl.annotate_register(st_s1, StateRole::kShare, ShareLabel{0, 1, 0});
+  nl.set_state_group_name(0, "st");
+
+  const SignalId cnt = nl.make_reg_placeholder();
+  nl.name_signal(cnt, "cnt");
+
+  // Next state: reload from the re-masked input while load is high,
+  // otherwise refresh the sharing with r.
+  const SignalId st0_next = nl.mux(load, nl.xor_(st_s0, r), x0);
+  const SignalId st1_next = nl.mux(load, nl.xor_(st_s1, r), x1);
+  nl.connect_reg(st_s0, st0_next);
+  nl.connect_reg(st_s1, st1_next);
+  nl.connect_reg(cnt, nl.not_(cnt));
+
+  const SignalId q = nl.xor_(st_s0, nl.and_(cnt, st_s1));
+  nl.name_signal(q, "q");
+  nl.add_output("q", q);
+  nl.validate();
+  if (st0) *st0 = st_s0;
+  if (st1) *st1 = st_s1;
+  if (cnt_out) *cnt_out = cnt;
+  return nl;
+}
+
+const SliceCut* cut_of(const Slice& slice, SignalId reg) {
+  for (const SliceCut& c : slice.cuts)
+    if (c.reg == reg) return &c;
+  return nullptr;
+}
+
+// --- label transfer -------------------------------------------------------------
+
+TEST(Slice, TransfersShareLabelsAndInfersPublicState) {
+  SignalId st0 = netlist::kNoSignal, st1 = netlist::kNoSignal,
+           cnt = netlist::kNoSignal;
+  const Netlist nl = build_mini_state_machine(&st0, &st1, &cnt);
+  const Slice slice = netlist::extract_slice(nl);
+
+  ASSERT_EQ(slice.cuts.size(), 3u);
+  EXPECT_EQ(slice.first_transfer_group, nl.secret_group_count());
+
+  const SliceCut* c0 = cut_of(slice, st0);
+  const SliceCut* c1 = cut_of(slice, st1);
+  const SliceCut* cc = cut_of(slice, cnt);
+  ASSERT_NE(c0, nullptr);
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(cc, nullptr);
+
+  // Annotated share registers become share inputs of a fresh secret group.
+  EXPECT_EQ(c0->role, InputRole::kShare);
+  EXPECT_EQ(c0->label.secret, slice.first_transfer_group);
+  EXPECT_EQ(c0->label.share, 0u);
+  EXPECT_EQ(c1->role, InputRole::kShare);
+  EXPECT_EQ(c1->label.secret, slice.first_transfer_group);
+  EXPECT_EQ(c1->label.share, 1u);
+  // The annotation-group display name rides onto the fresh secret group.
+  EXPECT_EQ(slice.nl.secret_group_name(slice.first_transfer_group), "st");
+
+  // The unannotated, untainted counter is inferred public -> control input.
+  EXPECT_EQ(cc->role, InputRole::kControl);
+
+  // Cut registers keep their names and export their D function.
+  EXPECT_EQ(slice.nl.signal_name(c0->input), "st_s0");
+  bool found_next = false;
+  for (const auto& out : slice.nl.outputs())
+    if (out.name == "next.st_s0" && out.signal == c0->next) found_next = true;
+  EXPECT_TRUE(found_next);
+  EXPECT_EQ(slice.next_of(st0), c0->next);
+  EXPECT_EQ(slice.next_of(/*not a register*/ 0), netlist::kNoSignal);
+
+  // The slice is a pipeline: unrolling must now be possible.
+  EXPECT_NO_THROW(verif::sequential_depth(slice.nl));
+  for (const SignalId held : slice.held_inputs)
+    EXPECT_EQ(slice.nl.kind(held), GateKind::kInput);
+  EXPECT_EQ(slice.held_inputs.size(), 3u);
+}
+
+TEST(Slice, PinningAStateRegisterSpecializesItToAConstant) {
+  SignalId cnt = netlist::kNoSignal;
+  const Netlist nl = build_mini_state_machine(nullptr, nullptr, &cnt);
+  SliceOptions options;
+  options.pin[cnt] = true;
+  const Slice slice = netlist::extract_slice(nl, options);
+
+  const SliceCut* cc = cut_of(slice, cnt);
+  ASSERT_NE(cc, nullptr);
+  EXPECT_TRUE(cc->pinned);
+  EXPECT_EQ(cc->input, netlist::kNoSignal);
+  EXPECT_EQ(slice.nl.kind(slice.map[cnt]), GateKind::kConst1);
+  EXPECT_EQ(slice.held_inputs.size(), 2u);  // the two share cuts remain
+}
+
+TEST(Slice, TaintedUnannotatedFeedbackRegisterIsAnErrorWithACyclePath) {
+  // A mask-holding register loop (r ^ itself) with no annotation: cutting
+  // it would re-label accumulated randomness as an independent input.
+  Netlist nl;
+  const SignalId r = nl.add_input(InputRole::kRandom, "r");
+  const SignalId acc = nl.make_reg_placeholder();
+  nl.name_signal(acc, "acc");
+  nl.connect_reg(acc, nl.xor_(acc, r));
+  nl.add_output("q", acc);
+  nl.validate();
+  try {
+    netlist::extract_slice(nl);
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("acc"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("annotate_register"), std::string::npos) << msg;
+  }
+}
+
+TEST(Slice, FeedForwardRegistersAreNotCut) {
+  // A pure pipeline has no cycles: nothing to cut, slice == original shape.
+  Netlist nl;
+  const SignalId a = nl.add_input(InputRole::kShare, "a", ShareLabel{0, 0, 0});
+  const SignalId p = nl.reg(nl.not_(a));
+  nl.add_output("q", p);
+  nl.validate();
+  const Slice slice = netlist::extract_slice(nl);
+  EXPECT_TRUE(slice.cuts.empty());
+  EXPECT_TRUE(slice.held_inputs.empty());
+  EXPECT_EQ(slice.nl.kind(slice.map[p]), GateKind::kReg);
+}
+
+// --- sequential_depth diagnostics ----------------------------------------------
+
+TEST(Slice, SequentialDepthReportsTheFullRegisterCyclePath) {
+  // Two registers in a loop: ra -> (comb) -> rb -> (comb) -> ra. The
+  // feedback diagnostic must spell out the whole register path, not just
+  // one register name.
+  Netlist nl;
+  const SignalId ra = nl.make_reg_placeholder();
+  nl.name_signal(ra, "ra");
+  const SignalId rb = nl.make_reg_placeholder();
+  nl.name_signal(rb, "rb");
+  nl.connect_reg(rb, nl.not_(ra));
+  nl.connect_reg(ra, nl.not_(rb));
+  nl.add_output("q", ra);
+  nl.validate();
+  try {
+    verif::sequential_depth(nl);
+    FAIL() << "expected common::Error";
+  } catch (const common::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ra"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rb"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(" -> "), std::string::npos) << msg;
+    EXPECT_NE(msg.find("extract_slice"), std::string::npos) << msg;
+  }
+}
+
+// --- SNL round-trip --------------------------------------------------------------
+
+TEST(Slice, StateAnnotationsRoundTripThroughSnl) {
+  const Netlist nl = build_mini_state_machine();
+  const Netlist back = netlist::parse_snl(netlist::write_snl(nl));
+
+  ASSERT_EQ(back.size(), nl.size());
+  EXPECT_EQ(back.annotated_registers(), nl.annotated_registers());
+  for (const SignalId reg : nl.annotated_registers()) {
+    const netlist::StateAnnotation* a = nl.register_annotation(reg);
+    const netlist::StateAnnotation* b = back.register_annotation(reg);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->role, a->role);
+    EXPECT_EQ(b->label.secret, a->label.secret);
+    EXPECT_EQ(b->label.share, a->label.share);
+    EXPECT_EQ(b->label.bit, a->label.bit);
+  }
+  EXPECT_EQ(back.named_state_groups(), nl.named_state_groups());
+  EXPECT_EQ(back.state_group_name(0), "st");
+
+  Netlist named = build_mini_state_machine();
+  named.set_secret_group_name(0, "plaintext x");
+  const Netlist back2 = netlist::parse_snl(netlist::write_snl(named));
+  EXPECT_EQ(back2.secret_group_name(0), "plaintext x");
+}
+
+// --- stitched-simulation property ----------------------------------------------
+
+// Simulates the full MaskedAes128 and its extracted slice side by side for
+// several complete rounds: per cycle the slice's cut inputs are driven from
+// tracked register state, and every signal the cut map relates must agree
+// bit-for-bit across all 64 lanes.
+TEST(Slice, StitchedAesSliceSimulationIsBitIdenticalToTheFullDesign) {
+  Netlist nl;
+  const gadgets::MaskedAes core = gadgets::build_masked_aes128(nl, {});
+  const Slice slice = netlist::extract_slice(nl);
+  ASSERT_FALSE(slice.cuts.empty());
+
+  sim::Simulator full(nl);
+  sim::Simulator cut(slice.nl);
+  common::Xoshiro256 rng(7);
+
+  // Plaintext/key shares: arbitrary per-lane words, held like the real
+  // test-bench holds them.
+  for (const auto& in : nl.inputs())
+    if (in.role == InputRole::kShare) {
+      const std::uint64_t v = rng.next();
+      full.set_input(in.signal, v);
+      cut.set_input(slice.map[in.signal], v);
+    }
+
+  // Tracked state of every cut register, all lanes; registers reset to 0.
+  std::unordered_map<SignalId, std::uint64_t> state;
+  for (const SliceCut& c : slice.cuts) state[c.reg] = 0;
+
+  const std::size_t cycles = 3 * 6 + 2;  // three full round periods and a bit
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    for (const auto& in : nl.inputs())
+      if (in.role == InputRole::kRandom) {
+        const std::uint64_t v = rng.next();
+        full.set_input(in.signal, v);
+        cut.set_input(slice.map[in.signal], v);
+      }
+    for (const SliceCut& c : slice.cuts) cut.set_input(c.input, state[c.reg]);
+
+    full.settle();
+    cut.settle();
+
+    std::size_t mismatches = 0;
+    for (SignalId id = 0; id < nl.size() && mismatches < 5; ++id) {
+      if (slice.map[id] == netlist::kNoSignal) continue;
+      if (full.value(id) != cut.value(slice.map[id])) {
+        ++mismatches;
+        ADD_FAILURE() << "cycle " << cycle << ": " << nl.signal_name(id)
+                      << " diverges between full design and slice";
+      }
+    }
+    ASSERT_EQ(mismatches, 0u) << "slice diverged at cycle " << cycle;
+
+    // Latch: tracked cut registers take their exported next values, the
+    // slice-internal pipeline registers clock inside the simulator.
+    for (const SliceCut& c : slice.cuts) state[c.reg] = cut.value(c.next);
+    full.clock();
+    cut.clock();
+  }
+
+  // Sanity: the design actually advanced (the round counter moved).
+  bool any_nonzero = false;
+  for (const SliceCut& c : slice.cuts) any_nonzero |= state[c.reg] != 0;
+  EXPECT_TRUE(any_nonzero);
+  (void)core;
+}
+
+}  // namespace
+}  // namespace sca
