@@ -67,7 +67,12 @@ namespace {
                "[--seed N] [--top N] [--exact] [--lint] [--lint-slice] "
                "[--lint-certify] [--json]\n"
                "       [--stages N] [--checkpoint PATH] [--resume] "
-               "[--early-stop N] [--early-stop-margin X]\n",
+               "[--early-stop N] [--early-stop-margin X]\n"
+               "       [--lanes 64|256|512] [--interpreted]\n"
+               "  --lanes selects the SIMD batch width (default: SCA_LANES "
+               "env, else the native width);\n"
+               "  --interpreted forces the 64-lane interpreted kernel (the "
+               "bit-identical oracle).\n",
                argv0);
   std::exit(2);
 }
@@ -140,6 +145,10 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--early-stop-margin") {
       options.early_stop_margin = std::strtod(next(), nullptr);
+    } else if (arg == "--lanes") {
+      options.lanes = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--interpreted") {
+      options.interpreted_kernel = true;
     } else {
       usage(argv[0]);
     }

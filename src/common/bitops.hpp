@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "src/common/check.hpp"
+#include "src/common/simd.hpp"
 
 namespace sca::common {
 
@@ -51,6 +52,17 @@ inline std::size_t ceil_div(std::size_t a, std::size_t b) {
 inline void csa(std::uint64_t& high, std::uint64_t& low, std::uint64_t a,
                 std::uint64_t b, std::uint64_t c) {
   const std::uint64_t u = a ^ b;
+  high = (a & b) | (u & c);
+  low = u ^ c;
+}
+
+/// The same full-adder layer over W-lane SIMD words: one vector op per
+/// logic step, so the vertical counters below cost the identical op count
+/// per *word* at 4-8x the lanes.
+template <unsigned kLimbs>
+inline void csa(SimdWord<kLimbs>& high, SimdWord<kLimbs>& low,
+                SimdWord<kLimbs> a, SimdWord<kLimbs> b, SimdWord<kLimbs> c) {
+  const SimdWord<kLimbs> u = a ^ b;
   high = (a & b) | (u & c);
   low = u ^ c;
 }
@@ -162,5 +174,84 @@ class VerticalCounter {
   std::array<std::uint64_t, kPlanes> planes_{};
   unsigned used_ = 0;
 };
+
+/// W-lane generalization of VerticalCounter: W = 64 * kLimbs independent
+/// per-lane counters held column-wise in SIMD bit planes. Same ripple-carry
+/// add (amortized O(1) vector ops per word) over 4-8x the lanes; extraction
+/// goes one 64-lane limb at a time so chunk tails (inactive high limbs) can
+/// be skipped.
+template <unsigned kLimbs>
+class WideVerticalCounter {
+ public:
+  using Word = SimdWord<kLimbs>;
+  static constexpr unsigned kPlanes = 16;
+
+  /// Per-lane increment by the bits of `w`.
+  void add(Word w) {
+    Word carry = w;
+    for (unsigned j = 0; carry.any(); ++j) {
+      if (j == used_) {
+        SCA_ASSERT(used_ < kPlanes, "WideVerticalCounter: lane count overflow");
+        planes_[used_++] = carry;
+        return;
+      }
+      const Word t = planes_[j] & carry;
+      planes_[j] = planes_[j] ^ carry;
+      carry = t;
+    }
+  }
+
+  /// Extracts the 64 per-lane counts of limb `limb` (lanes [64*limb,
+  /// 64*limb + 64)).
+  void lane_counts(unsigned limb, std::uint16_t out[64]) const {
+    for (unsigned lane = 0; lane < 64; ++lane) {
+      unsigned v = 0;
+      for (unsigned j = 0; j < used_; ++j)
+        v |= static_cast<unsigned>((planes_[j].limb(limb) >> lane) & 1u) << j;
+      out[lane] = static_cast<std::uint16_t>(v);
+    }
+  }
+
+  /// Sum of all lane counts across limbs [0, active) — one popcount per
+  /// plane in use instead of per-lane extraction.
+  std::uint64_t total(unsigned active = kLimbs) const {
+    std::uint64_t sum = 0;
+    for (unsigned j = 0; j < used_; ++j)
+      sum += static_cast<std::uint64_t>(planes_[j].popcount(active)) << j;
+    return sum;
+  }
+
+  /// Resets every lane to zero (O(planes in use)).
+  void clear() {
+    for (unsigned j = 0; j < used_; ++j) planes_[j] = Word::zero();
+    used_ = 0;
+  }
+
+  unsigned planes_in_use() const { return used_; }
+
+  /// Bit-plane j of the per-lane counts (j < planes_in_use()): lane L's
+  /// count has bit j set iff plane j has lane L set. Conjunction-expanding
+  /// the planes histograms the counts without per-lane extraction.
+  const Word& plane(unsigned j) const { return planes_[j]; }
+
+ private:
+  std::array<Word, kPlanes> planes_{};
+  unsigned used_ = 0;
+};
+
+/// One 64-lane block of a W x 64 bit-matrix transpose. The input is `nrows`
+/// rows (nrows <= 64) of kLimbs-limb SIMD lane words — row r holds
+/// observation bit r of W lanes — laid out as rows[r * stride + limb].
+/// The output is the transposed 64x64 block for lanes [64*limb, 64*limb+64):
+/// out[L] is the nrows-bit key of lane 64*limb + L (bit r = row r's bit).
+/// Rows past nrows zero-pad, exactly like the 64x64 core used alone.
+inline void transpose_wx64_block(const std::uint64_t* rows, std::size_t nrows,
+                                 std::size_t stride, unsigned limb,
+                                 std::uint64_t out[64]) {
+  SCA_ASSERT(nrows <= 64, "transpose_wx64_block: at most 64 rows");
+  for (std::size_t r = 0; r < nrows; ++r) out[r] = rows[r * stride + limb];
+  for (std::size_t r = nrows; r < 64; ++r) out[r] = 0;
+  transpose64(out);
+}
 
 }  // namespace sca::common

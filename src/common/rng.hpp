@@ -45,4 +45,61 @@ class Xoshiro256 {
 /// SplitMix64 step — used for seeding and stream splitting.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// SplitMix64's finalizer: a bijective avalanche mix on 64 bits. The
+/// building block of the counter-mode generator below (SplitMix itself is
+/// exactly this finalizer applied to a counter).
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Counter-mode bit-plane generator for the campaign hot loop.
+///
+/// Every 64-bit output is a pure function of (seed, cycle, slot, index):
+/// no sequential state at all. That is the property the sharded campaign
+/// engine builds on — any worker, chunk partition, checkpoint resume, or
+/// SIMD lane width that evaluates the same logical simulation coordinates
+/// draws the identical randomness, so statistics are bit-identical across
+/// all of them by construction rather than by stream-replay discipline.
+///
+/// Addressing convention used by the campaign: `cycle` encodes the absolute
+/// simulation cycle ((run * 2 + group) * cycles_per_group + cycle_in_group),
+/// `slot` numbers the fresh-randomness consumers of one cycle (secret bytes,
+/// share masks, plain random inputs, nonzero buses), and `index` walks the
+/// words a slot draws (bit planes 0..7, then 8 more per rejection round).
+///
+/// Construction: a chain of SplitMix64 finalizers over the address words,
+/// with golden-ratio spacing — the same statistical pedigree as SplitMix64
+/// itself (a Weyl counter pushed through mix64).
+class CounterPrg {
+ public:
+  /// A per-(cycle, slot) stream handle: draw words from it by index.
+  using Stream = std::uint64_t;
+
+  static constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+
+  explicit CounterPrg(std::uint64_t seed) : key_(mix64(seed + kGolden)) {}
+
+  /// The stream of fresh-randomness slot `slot` at simulation cycle
+  /// `cycle` — two mixes, hoistable out of the per-word loop.
+  Stream stream(std::uint64_t cycle, std::uint32_t slot) const {
+    return mix64(mix64(key_ ^ cycle) + slot * kGolden);
+  }
+
+  /// Word `index` of a stream — one mix per word.
+  static std::uint64_t word_at(Stream s, std::uint32_t index) {
+    return mix64(s + (static_cast<std::uint64_t>(index) + 1) * kGolden);
+  }
+
+  /// Uniform 64 bits at counter coordinates (cycle, slot, index).
+  std::uint64_t word(std::uint64_t cycle, std::uint32_t slot,
+                     std::uint32_t index) const {
+    return word_at(stream(cycle, slot), index);
+  }
+
+ private:
+  std::uint64_t key_;
+};
+
 }  // namespace sca::common

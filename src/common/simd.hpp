@@ -1,0 +1,167 @@
+// Wide bit-parallel words for the simulation and accumulation kernels.
+//
+// SimdWord<kLimbs> packs kLimbs 64-bit lane words into one value (64, 256 or
+// 512 simulation lanes) and supports exactly the operations a bit-parallel
+// netlist kernel needs: bitwise logic, load/store, broadcast, and per-limb
+// access. On GCC/Clang it is backed by vector extensions, which lower to the
+// widest instruction set the build targets (SSE2 pairs, AVX2, or AVX-512)
+// and stay correct on any of them; defining SCA_NO_VECTOR_EXT selects a
+// portable scalar-array fallback with identical semantics.
+//
+// Lane numbering follows the simulator convention: lane L lives in bit
+// (L % 64) of limb (L / 64).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/check.hpp"
+
+#if defined(__GNUC__) && !defined(SCA_NO_VECTOR_EXT)
+#define SCA_SIMD_VECTOR_EXT 1
+#endif
+
+namespace sca::common {
+
+template <unsigned kLimbs>
+struct SimdWord {
+  static_assert(kLimbs >= 1 && (kLimbs & (kLimbs - 1)) == 0,
+                "SimdWord: limb count must be a power of two");
+  static constexpr unsigned kLanes = 64 * kLimbs;
+
+#if SCA_SIMD_VECTOR_EXT
+  typedef std::uint64_t Vec __attribute__((vector_size(kLimbs * 8)));
+  Vec v;
+#else
+  std::uint64_t v[kLimbs];
+#endif
+
+  /// Reads kLimbs words from `p` (no alignment requirement).
+  static SimdWord load(const std::uint64_t* p) {
+    SimdWord w;
+    std::memcpy(&w.v, p, sizeof(w.v));
+    return w;
+  }
+
+  /// Writes kLimbs words to `p` (no alignment requirement).
+  void store(std::uint64_t* p) const { std::memcpy(p, &v, sizeof(v)); }
+
+  /// All limbs set to `x`.
+  static SimdWord broadcast(std::uint64_t x) {
+    SimdWord w;
+    for (unsigned i = 0; i < kLimbs; ++i) w.set_limb(i, x);
+    return w;
+  }
+
+  static SimdWord zero() { return broadcast(0); }
+  static SimdWord ones() { return broadcast(~std::uint64_t{0}); }
+
+  // Per-limb access goes through memcpy (GCC types a one-limb vector as a
+  // plain scalar, so subscripting is not portable across limb counts); the
+  // compiler lowers these to direct extracts/inserts.
+  std::uint64_t limb(unsigned i) const {
+    std::uint64_t x;
+    std::memcpy(&x, reinterpret_cast<const char*>(&v) + i * 8u, 8);
+    return x;
+  }
+  void set_limb(unsigned i, std::uint64_t x) {
+    std::memcpy(reinterpret_cast<char*>(&v) + i * 8u, &x, 8);
+  }
+
+  /// True if any bit in any limb is set.
+  bool any() const {
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < kLimbs; ++i) acc |= limb(i);
+    return acc != 0;
+  }
+
+  /// Set bits across limbs [0, active) — the chunk-tail-aware popcount the
+  /// accumulation paths use (inactive limbs carry don't-care values).
+  unsigned popcount(unsigned active) const {
+    unsigned n = 0;
+    for (unsigned i = 0; i < active; ++i)
+      n += static_cast<unsigned>(__builtin_popcountll(limb(i)));
+    return n;
+  }
+
+  /// Full-width popcount: the fixed trip count lets the compiler unroll
+  /// and, where the ISA has vector popcounts, vectorize it — prefer this
+  /// in hot loops whenever the word has no inactive tail.
+  unsigned popcount() const {
+    unsigned n = 0;
+    for (unsigned i = 0; i < kLimbs; ++i)
+      n += static_cast<unsigned>(__builtin_popcountll(limb(i)));
+    return n;
+  }
+
+  friend SimdWord operator&(SimdWord a, SimdWord b) {
+#if SCA_SIMD_VECTOR_EXT
+    a.v = a.v & b.v;
+#else
+    for (unsigned i = 0; i < kLimbs; ++i) a.v[i] = a.v[i] & b.v[i];
+#endif
+    return a;
+  }
+  friend SimdWord operator|(SimdWord a, SimdWord b) {
+#if SCA_SIMD_VECTOR_EXT
+    a.v = a.v | b.v;
+#else
+    for (unsigned i = 0; i < kLimbs; ++i) a.v[i] = a.v[i] | b.v[i];
+#endif
+    return a;
+  }
+  friend SimdWord operator^(SimdWord a, SimdWord b) {
+#if SCA_SIMD_VECTOR_EXT
+    a.v = a.v ^ b.v;
+#else
+    for (unsigned i = 0; i < kLimbs; ++i) a.v[i] = a.v[i] ^ b.v[i];
+#endif
+    return a;
+  }
+  friend SimdWord operator~(SimdWord a) {
+#if SCA_SIMD_VECTOR_EXT
+    a.v = ~a.v;
+#else
+    for (unsigned i = 0; i < kLimbs; ++i) a.v[i] = ~a.v[i];
+#endif
+    return a;
+  }
+  SimdWord& operator&=(SimdWord b) { return *this = *this & b; }
+  SimdWord& operator|=(SimdWord b) { return *this = *this | b; }
+  SimdWord& operator^=(SimdWord b) { return *this = *this ^ b; }
+};
+
+/// Lane widths the kernels are instantiated for (limbs 1, 4, 8).
+inline bool valid_lane_width(unsigned lanes) {
+  return lanes == 64 || lanes == 256 || lanes == 512;
+}
+
+/// Widest lane count worth running on this machine: 512 when the CPU has
+/// AVX-512F, else 256 (on AVX2 that is one op per word; on bare SSE2 the
+/// compiler pairs the halves, which still beats 64-bit words on memory
+/// traffic). Non-x86 hosts default to 256 via the compiler's native vectors.
+inline unsigned native_lane_width() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return 512;
+#endif
+  return 256;
+}
+
+/// Lane-width resolution, mirroring resolve_threads: an explicit request
+/// wins, else the SCA_LANES environment variable, else the native width.
+/// Accepts 64, 256, or 512.
+inline unsigned resolve_lanes(unsigned requested) {
+  unsigned lanes = requested;
+  if (lanes == 0) {
+    if (const char* env = std::getenv("SCA_LANES")) {
+      const unsigned long v = std::strtoul(env, nullptr, 10);
+      if (v > 0) lanes = static_cast<unsigned>(v);
+    }
+  }
+  if (lanes == 0) lanes = native_lane_width();
+  require(valid_lane_width(lanes), "resolve_lanes: lane width must be 64, 256, or 512");
+  return lanes;
+}
+
+}  // namespace sca::common

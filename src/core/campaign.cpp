@@ -1,10 +1,13 @@
 #include "src/core/campaign.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -16,14 +19,15 @@
 #include "src/common/check.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/serialize.hpp"
+#include "src/common/simd.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/core/checkpoint.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace sca::eval {
 
+using common::CounterPrg;
 using common::require;
-using common::Xoshiro256;
 using netlist::InputRole;
 using netlist::Netlist;
 using netlist::SignalId;
@@ -87,12 +91,17 @@ struct PreparedSet {
   std::array<stats::MomentAccumulator, 2> moments;  // t-test mode
 };
 
-// One buffered sample: the stable-point values (64 lanes each) at the sample
-// cycle and, for transition models, the cycle before.
+// One buffered sample: the stable-point values at the sample cycle and, for
+// transition models, the cycle before. Point-major limb layout: the limbs()
+// lane words of stable point i sit at [i * limbs, (i + 1) * limbs), so an
+// observation word loads as one SimdWord. `active` is the number of limbs
+// carrying real runs (the last wide run of a chunk may be a tail; inactive
+// limbs hold don't-care values and are never accumulated).
 struct Sample {
   std::vector<std::uint64_t> now;
   std::vector<std::uint64_t> prev;
   int group = 0;
+  unsigned active = 1;
 };
 
 // FNV-1a over the signal ids of a sorted observation vector — probe-set
@@ -138,8 +147,40 @@ struct WorkerCtx {
 // Exact probe sets at or below this observation width use the
 // conjunction-popcount histogram (no transpose, no per-lane work). Must
 // stay below FlatCountTable::kMaxDirectBits so those sets always hit the
-// direct-indexed table mode, where add() order cannot matter.
-constexpr std::size_t kPopcountBits = 5;
+// direct-indexed table mode, where add() order cannot matter. 8 balances
+// the 2^bits expansion cost against the transpose path's per-lane table
+// updates (measured via SCA_DEBUG_ACC on the E2 campaign; the expansion
+// is one vector op per combo, so it wins as long as the per-key popcount
+// vectorizes).
+constexpr std::size_t kPopcountBits = 8;
+
+// SCA_DEBUG_ACC=1 breaks the accumulate phase down by path (cumulative
+// process-wide nanoseconds, printed to stderr after every campaign) — the
+// profiling hook behind the kernel's throughput tuning.
+struct AccPathNanos {
+  std::atomic<std::uint64_t> ttest{0};
+  std::atomic<std::uint64_t> scalar{0};
+  std::atomic<std::uint64_t> compacted{0};
+  std::atomic<std::uint64_t> narrow{0};
+  std::atomic<std::uint64_t> packed{0};
+};
+AccPathNanos g_acc_path_nanos;
+
+bool acc_debug_enabled() {
+  static const bool on = std::getenv("SCA_DEBUG_ACC") != nullptr;
+  return on;
+}
+
+void report_acc_debug() {
+  if (!acc_debug_enabled()) return;
+  const AccPathNanos& n = g_acc_path_nanos;
+  std::fprintf(stderr,
+               "accumulate paths (cumulative): ttest %.3fs scalar %.3fs "
+               "compacted %.3fs narrow %.3fs packed %.3fs\n",
+               n.ttest.load() * 1e-9, n.scalar.load() * 1e-9,
+               n.compacted.load() * 1e-9, n.narrow.load() * 1e-9,
+               n.packed.load() * 1e-9);
+}
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -274,106 +315,245 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
         plain_randoms.push_back(in.signal);
   }
 
+  // Lane width and kernel: the compiled levelized tape at the resolved
+  // width by default, the interpreted 64-lane reference on request (the
+  // oracle the tape is tested against). The campaign only ever reads
+  // stable points, so the tape is dead-gate-eliminated against them.
+  require(!options.interpreted_kernel || options.lanes == 0 ||
+              options.lanes == 64,
+          "campaign: the interpreted oracle kernel runs 64 lanes only");
+  const unsigned lanes =
+      options.interpreted_kernel ? 64 : common::resolve_lanes(options.lanes);
+  const unsigned limbs = lanes / 64;
+  constexpr unsigned kMaxLimbs = 8;
+
   // Shared read-only evaluation plan; every worker simulator runs over it.
-  const sim::Schedule schedule(nl);
+  sim::ScheduleOptions schedule_options;
+  schedule_options.lanes = lanes;
+  schedule_options.compile = !options.interpreted_kernel;
+  schedule_options.observed = stable_points;
+  const sim::Schedule schedule(nl, schedule_options);
   const unsigned threads = common::resolve_threads(options.threads);
 
-  // Feeds one cycle of inputs into `simulator` from `rng`. The byte ->
-  // lane-word spread goes through the 8x8 block transpose of
-  // bytes_to_bit_planes (bit L of planes[b] = bit b of lane L's byte)
-  // instead of 64-iteration per-bit loops; the RNG draw order is untouched,
-  // so seeded campaigns are bit-identical to the scalar spread.
+  // Fresh randomness comes from the counter-mode PRG: every drawn word is
+  // a pure function of (seed, cycle, slot, word index), where `cycle` is
+  // the absolute simulated cycle of a 64-lane run,
+  //
+  //   cycle = (run * 2 + group) * cycles_per_group + cycle_in_group,
+  //
+  // and `slot` numbers the fresh-randomness consumers statically: per
+  // secret group one secret slot and one slot per drawn share, then the
+  // plain random inputs, then the nonzero buses. Addressing draws by
+  // absolute run (not by chunk stream position) is what makes the
+  // statistics bit-identical for every lane width, thread count, chunk
+  // partition, and checkpoint/resume split.
+  struct GroupSlots {
+    std::uint32_t secret = 0;
+    std::uint32_t shares0 = 0;  // slot of share 0; share sh at shares0 + sh
+  };
+  std::vector<GroupSlots> group_slots;
+  std::uint32_t prg_slots = 0;
+  for (const GroupInputs& g : groups) {
+    GroupSlots gs;
+    gs.secret = prg_slots++;
+    gs.shares0 = prg_slots;
+    prg_slots += static_cast<std::uint32_t>(g.share_bits.size() - 1);
+    group_slots.push_back(gs);
+  }
+  const std::uint32_t plain_slot0 = prg_slots;
+  prg_slots += static_cast<std::uint32_t>(plain_randoms.size());
+  const std::uint32_t bus_slot0 = prg_slots;
+  prg_slots += static_cast<std::uint32_t>(options.nonzero_random_buses.size());
+
+  const std::size_t samples_per_run =
+      std::max<std::size_t>(1, options.samples_per_run);
+  const std::size_t cycles_per_group =
+      options.warmup_cycles + samples_per_run * options.sample_interval;
+
+  // Feeds one cycle of inputs for a wide run covering the 64-lane runs
+  // [run0, run0 + active). Secrets and masks are drawn directly as bit
+  // planes (word index = bit plane), XOR-sharing happens in plane space,
+  // and nonzero bytes are rejection-sampled in plane space: a lane whose
+  // drawn byte is zero takes the next 8-word block of its stream until
+  // every lane is nonzero.
   // Null calibration turns the campaign into random-vs-random: the "fixed"
-  // group draws fresh secrets too, so the null hypothesis holds by
-  // construction and any verdict is a false positive of the statistic.
+  // group draws fresh secrets too (from the same counter coordinates), so
+  // the null hypothesis holds by construction and any verdict is a false
+  // positive of the statistic.
   const bool null_calibration = options.null_calibration;
-  auto feed_cycle = [&](sim::Simulator& simulator, Xoshiro256& rng,
-                        bool fixed_group) {
-    std::array<std::uint8_t, 64> lane_bytes{};
-    std::array<std::uint64_t, 8> planes{};
-    for (const GroupInputs& g : groups) {
-      const std::uint8_t mask = g.value_mask;
-      std::array<std::uint8_t, 64> secret{};
+  auto feed_cycle = [&](sim::Simulator& simulator, const CounterPrg& prg,
+                        std::size_t run0, unsigned active, int group,
+                        std::size_t cycle_in_group) {
+    std::uint64_t cyc[kMaxLimbs];
+    for (unsigned b = 0; b < active; ++b)
+      cyc[b] = (static_cast<std::uint64_t>(run0 + b) * 2 +
+                static_cast<std::uint64_t>(group)) *
+                   cycles_per_group +
+               cycle_in_group;
+    const bool fixed_group = group == 0;
+    std::uint64_t acc[8][kMaxLimbs];
+    std::uint64_t mask_plane[8][kMaxLimbs];
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const GroupInputs& g = groups[gi];
+      const GroupSlots& gs = group_slots[gi];
       if (fixed_group && !null_calibration) {
-        secret.fill(g.fixed_byte);
+        for (std::uint32_t p = 0; p < g.bits; ++p) {
+          const std::uint64_t w =
+              (g.fixed_byte >> p) & 1u ? ~std::uint64_t{0} : 0;
+          for (unsigned b = 0; b < active; ++b) acc[p][b] = w;
+        }
       } else {
-        for (auto& b : secret) b = static_cast<std::uint8_t>(rng.byte() & mask);
+        for (unsigned b = 0; b < active; ++b) {
+          const CounterPrg::Stream s = prg.stream(cyc[b], gs.secret);
+          for (std::uint32_t p = 0; p < g.bits; ++p)
+            acc[p][b] = CounterPrg::word_at(s, p);
+        }
       }
-      std::array<std::uint8_t, 64> acc = secret;
       const std::size_t num_shares = g.share_bits.size();
       for (std::size_t sh = 0; sh + 1 < num_shares; ++sh) {
-        for (unsigned lane = 0; lane < 64; ++lane) {
-          lane_bytes[lane] = static_cast<std::uint8_t>(rng.byte() & mask);
-          acc[lane] ^= lane_bytes[lane];
+        for (unsigned b = 0; b < active; ++b) {
+          const CounterPrg::Stream s =
+              prg.stream(cyc[b], gs.shares0 + static_cast<std::uint32_t>(sh));
+          for (std::uint32_t p = 0; p < g.bits; ++p) {
+            const std::uint64_t m = CounterPrg::word_at(s, p);
+            mask_plane[p][b] = m;
+            acc[p][b] ^= m;
+          }
         }
-        common::bytes_to_bit_planes(lane_bytes.data(), planes.data());
-        for (std::uint32_t bit = 0; bit < g.bits; ++bit)
-          simulator.set_input(g.share_bits[sh][bit], planes[bit]);
+        for (std::uint32_t p = 0; p < g.bits; ++p) {
+          std::uint64_t* dst = simulator.input_limbs(g.share_bits[sh][p]);
+          for (unsigned b = 0; b < active; ++b) dst[b] = mask_plane[p][b];
+        }
       }
-      common::bytes_to_bit_planes(acc.data(), planes.data());
-      for (std::uint32_t bit = 0; bit < g.bits; ++bit)
-        simulator.set_input(g.share_bits[num_shares - 1][bit], planes[bit]);
+      for (std::uint32_t p = 0; p < g.bits; ++p) {
+        std::uint64_t* dst =
+            simulator.input_limbs(g.share_bits[num_shares - 1][p]);
+        for (unsigned b = 0; b < active; ++b) dst[b] = acc[p][b];
+      }
     }
-    for (SignalId r : plain_randoms) simulator.set_input(r, rng.next());
-    for (const auto& bus : options.nonzero_random_buses) {
-      for (auto& b : lane_bytes) b = rng.nonzero_byte();
-      gadgets::set_bus_per_lane(simulator, bus,
-                                std::span<const std::uint8_t, 64>(lane_bytes));
+    for (std::size_t i = 0; i < plain_randoms.size(); ++i) {
+      std::uint64_t* dst = simulator.input_limbs(plain_randoms[i]);
+      const std::uint32_t slot = plain_slot0 + static_cast<std::uint32_t>(i);
+      for (unsigned b = 0; b < active; ++b)
+        dst[b] = CounterPrg::word_at(prg.stream(cyc[b], slot), 0);
+    }
+    for (std::size_t bi = 0; bi < options.nonzero_random_buses.size(); ++bi) {
+      const gadgets::Bus& bus = options.nonzero_random_buses[bi];
+      const std::uint32_t slot = bus_slot0 + static_cast<std::uint32_t>(bi);
+      const std::size_t nbits = bus.size();
+      SCA_ASSERT(nbits >= 1 && nbits <= 8,
+                 "campaign: nonzero buses are 1..8 bits");
+      std::uint64_t planes[8][kMaxLimbs];
+      for (unsigned b = 0; b < active; ++b) {
+        const CounterPrg::Stream s = prg.stream(cyc[b], slot);
+        std::uint64_t pl[8];
+        std::uint64_t nonzero = 0;
+        for (std::size_t p = 0; p < nbits; ++p) {
+          pl[p] = CounterPrg::word_at(s, static_cast<std::uint32_t>(p));
+          nonzero |= pl[p];
+        }
+        std::uint32_t widx = 8;
+        for (std::uint64_t zero = ~nonzero; zero; widx += 8) {
+          std::uint64_t redrawn = 0;
+          for (std::size_t p = 0; p < nbits; ++p) {
+            const std::uint64_t d =
+                CounterPrg::word_at(s, widx + static_cast<std::uint32_t>(p));
+            pl[p] |= d & zero;
+            redrawn |= d;
+          }
+          zero &= ~redrawn;
+        }
+        for (std::size_t p = 0; p < nbits; ++p) planes[p][b] = pl[p];
+      }
+      for (std::size_t p = 0; p < nbits; ++p) {
+        std::uint64_t* dst = simulator.input_limbs(bus[p]);
+        for (unsigned b = 0; b < active; ++b) dst[b] = planes[p][b];
+      }
     }
   };
 
   auto snapshot_stable = [&](const sim::Simulator& simulator,
                              std::vector<std::uint64_t>& into) {
-    into.resize(stable_points.size());
+    into.resize(stable_points.size() * limbs);
+    std::uint64_t* out = into.data();
     for (std::size_t i = 0; i < stable_points.size(); ++i)
-      into[i] = simulator.value(stable_points[i]);
+      std::memcpy(out + i * limbs, simulator.value_limbs(stable_points[i]),
+                  limbs * sizeof(std::uint64_t));
   };
 
   // Accumulates a buffer of samples into chunk-local tables for the probe
-  // sets [set_begin, set_end). Set-major for cache locality.
+  // sets [set_begin, set_end). Set-major for cache locality; templated on
+  // the limb count so every inner loop works on whole SIMD words.
   //
-  // The bit-sliced path never leaves 64-lane word space until the final
+  // The bit-sliced path never leaves lane-word space until the final
   // histogram update: per-lane Hamming weights come from a carry-save
-  // vertical counter (O(k) word ops for k observation words), exact keys
-  // from one 64x64 bit-matrix transpose per sample (64 keys at once), and
-  // counts land in flat direct-indexed/open-addressed tables. The scalar
-  // path is the per-bit reference; both feed identical integer counts into
-  // identical downstream operations, so their statistics are bit-identical
-  // (asserted by tests).
+  // vertical counter over SIMD words (O(k) word ops for k observation
+  // words), exact keys from one 64x64 bit-matrix transpose per limb per
+  // sample (64 keys at once), and counts land in flat direct-indexed /
+  // open-addressed tables. Inactive tail limbs are never read: vertical
+  // counters and transposes extract limbs [0, active) only, and the
+  // conjunction popcounts stop at `active`. The scalar path is the per-bit
+  // reference; both feed identical integer counts into identical downstream
+  // operations, so their statistics are bit-identical (asserted by tests).
   const bool bitsliced = options.accumulation == Accumulation::kBitSliced;
-  auto accumulate = [&](const std::vector<Sample>& buf, std::size_t set_begin,
-                        std::size_t set_end, ChunkAccumulators& acc,
-                        std::vector<stats::FlatCountTable>& direct_tables) {
-    common::VerticalCounter vc_now, vc_prev;
-    std::array<std::uint16_t, 64> hw_now{}, hw_prev{};
+  auto accumulate_impl = [&]<unsigned kLimbs>(
+                             const std::vector<Sample>& buf,
+                             std::size_t set_begin, std::size_t set_end,
+                             ChunkAccumulators& acc,
+                             std::vector<stats::FlatCountTable>& direct_tables) {
+    using Word = common::SimdWord<kLimbs>;
+    common::WideVerticalCounter<kLimbs> vc_now, vc_prev;
+    std::array<std::uint16_t, 64> hw_now{};
     std::array<std::uint64_t, 64> keys{};
+    std::vector<Word> hw_combos;  // compacted-path conjunction scratch
+    const auto obs_word = [](const std::vector<std::uint64_t>& vals,
+                             std::size_t d) {
+      return Word::load(vals.data() + d * kLimbs);
+    };
     for (std::size_t si = set_begin; si < set_end; ++si) {
       const PreparedSet& set = prepared[si];
       const std::size_t k = set.dense.size();
+      const auto set_start = acc_debug_enabled()
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+      const auto charge = [&](std::atomic<std::uint64_t>& bucket) {
+        if (acc_debug_enabled())
+          bucket += static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - set_start)
+                  .count());
+      };
       if (ttest) {
         auto& hist = acc.hw_hist[si - set_begin];
         for (const Sample& sample : buf) {
           auto& h = hist[static_cast<std::size_t>(sample.group)];
           if (bitsliced) {
             // TVLA: per-lane Hamming weight of the (extended) observation,
-            // all 64 lanes per vertical-counter pass.
+            // all lanes per vertical-counter pass.
             vc_now.clear();
-            for (std::size_t d : set.dense) vc_now.add(sample.now[d]);
+            for (std::size_t d : set.dense) vc_now.add(obs_word(sample.now, d));
             if (transitions)
-              for (std::size_t d : set.dense) vc_now.add(sample.prev[d]);
-            vc_now.lane_counts(hw_now.data());
-            for (unsigned lane = 0; lane < 64; ++lane) ++h[hw_now[lane]];
+              for (std::size_t d : set.dense)
+                vc_now.add(obs_word(sample.prev, d));
+            for (unsigned b = 0; b < sample.active; ++b) {
+              vc_now.lane_counts(b, hw_now.data());
+              for (unsigned lane = 0; lane < 64; ++lane) ++h[hw_now[lane]];
+            }
           } else {
-            for (unsigned lane = 0; lane < 64; ++lane) {
-              unsigned hw = 0;
-              for (std::size_t d : set.dense) {
-                hw += (sample.now[d] >> lane) & 1u;
-                if (transitions) hw += (sample.prev[d] >> lane) & 1u;
+            for (unsigned b = 0; b < sample.active; ++b) {
+              for (unsigned lane = 0; lane < 64; ++lane) {
+                unsigned hw = 0;
+                for (std::size_t d : set.dense) {
+                  hw += (sample.now[d * kLimbs + b] >> lane) & 1u;
+                  if (transitions)
+                    hw += (sample.prev[d * kLimbs + b] >> lane) & 1u;
+                }
+                ++h[hw];
               }
-              ++h[hw];
             }
           }
         }
+        charge(g_acc_path_nanos.ttest);
         continue;
       }
       stats::FlatCountTable& table = set.direct_table
@@ -381,67 +561,110 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
                                          : acc.tables[si - set_begin];
       if (!bitsliced) {
         for (const Sample& sample : buf) {
-          for (unsigned lane = 0; lane < 64; ++lane) {
-            std::uint64_t key;
-            if (set.compacted) {
-              // Compact mode: per-cycle Hamming weight of the observation.
-              unsigned hn = 0, hp = 0;
-              for (std::size_t d : set.dense) {
-                hn += (sample.now[d] >> lane) & 1u;
-                if (transitions) hp += (sample.prev[d] >> lane) & 1u;
-              }
-              key = hn * 257u + hp;
-            } else {
-              std::uint64_t obs = 0;
-              std::size_t b = 0;
-              for (std::size_t d : set.dense)
-                obs |= ((sample.now[d] >> lane) & 1u) << b++;
-              if (transitions)
+          for (unsigned b = 0; b < sample.active; ++b) {
+            for (unsigned lane = 0; lane < 64; ++lane) {
+              std::uint64_t key;
+              if (set.compacted) {
+                // Compact mode: per-cycle Hamming weight of the observation.
+                unsigned hn = 0, hp = 0;
+                for (std::size_t d : set.dense) {
+                  hn += (sample.now[d * kLimbs + b] >> lane) & 1u;
+                  if (transitions)
+                    hp += (sample.prev[d * kLimbs + b] >> lane) & 1u;
+                }
+                key = hn * 257u + hp;
+              } else {
+                std::uint64_t obs = 0;
+                std::size_t bit = 0;
                 for (std::size_t d : set.dense)
-                  obs |= ((sample.prev[d] >> lane) & 1u) << b++;
-              key = obs;
+                  obs |= ((sample.now[d * kLimbs + b] >> lane) & 1u) << bit++;
+                if (transitions)
+                  for (std::size_t d : set.dense)
+                    obs |= ((sample.prev[d * kLimbs + b] >> lane) & 1u)
+                           << bit++;
+                key = obs;
+              }
+              table.add(key, sample.group);
             }
-            table.add(key, sample.group);
           }
         }
+        charge(g_acc_path_nanos.scalar);
         continue;
       }
       if (set.compacted) {
+        // Hamming-weight pairs histogrammed in plane space: the vertical
+        // counter's bit-planes are the binary digits of the per-lane
+        // counts, so conjunction-expanding pn (+ pp) planes yields one
+        // lane-mask per (hn, hp) value and a popcount replaces 64 table
+        // updates. The add() insertion order differs from the per-lane
+        // reference, but chunk tables are unlimited (no pooling before
+        // the sorted master merge), so the accumulated counts match
+        // bin for bin.
         for (const Sample& sample : buf) {
           vc_now.clear();
-          for (std::size_t d : set.dense) vc_now.add(sample.now[d]);
-          vc_now.lane_counts(hw_now.data());
+          for (std::size_t d : set.dense) vc_now.add(obs_word(sample.now, d));
+          const unsigned pn = vc_now.planes_in_use();
+          unsigned pp = 0;
           if (transitions) {
             vc_prev.clear();
-            for (std::size_t d : set.dense) vc_prev.add(sample.prev[d]);
-            vc_prev.lane_counts(hw_prev.data());
-            for (unsigned lane = 0; lane < 64; ++lane)
-              keys[lane] = static_cast<std::uint64_t>(hw_now[lane]) * 257u +
-                           hw_prev[lane];
-          } else {
-            for (unsigned lane = 0; lane < 64; ++lane)
-              keys[lane] = static_cast<std::uint64_t>(hw_now[lane]) * 257u;
+            for (std::size_t d : set.dense)
+              vc_prev.add(obs_word(sample.prev, d));
+            pp = vc_prev.planes_in_use();
           }
-          table.add_keys64(keys.data(), sample.group);
+          const std::size_t n_hw = std::size_t{1} << (pn + pp);
+          if (hw_combos.size() < n_hw) hw_combos.resize(n_hw);
+          hw_combos[0] = Word::ones();
+          std::size_t n = 1;
+          for (unsigned j = 0; j < pn; ++j) {
+            const Word w = vc_now.plane(j);
+            for (std::size_t c = 0; c < n; ++c) {
+              const Word m = hw_combos[c];
+              hw_combos[c + n] = m & w;
+              hw_combos[c] = m & ~w;
+            }
+            n <<= 1;
+          }
+          for (unsigned j = 0; j < pp; ++j) {
+            const Word w = vc_prev.plane(j);
+            for (std::size_t c = 0; c < n; ++c) {
+              const Word m = hw_combos[c];
+              hw_combos[c + n] = m & w;
+              hw_combos[c] = m & ~w;
+            }
+            n <<= 1;
+          }
+          const std::uint64_t hn_mask = (std::uint64_t{1} << pn) - 1;
+          const bool full = sample.active == kLimbs;
+          for (std::size_t c = 0; c < n; ++c) {
+            const unsigned cnt = full ? hw_combos[c].popcount()
+                                      : hw_combos[c].popcount(sample.active);
+            if (!cnt) continue;
+            const std::uint64_t hn = c & hn_mask;
+            const std::uint64_t hp = c >> pn;
+            table.add(hn * 257u + hp, sample.group, cnt);
+          }
         }
+        charge(g_acc_path_nanos.compacted);
         continue;
       }
       if (set.observation_bits <= kPopcountBits) {
         // Narrow exact sets (the bulk of a first-order campaign): the whole
-        // 2^bits histogram of a 64-lane sample comes from conjunction
-        // popcounts — combos[key] has bit L set iff lane L observed `key` —
-        // with no transpose and no per-lane work at all. Direct tables
-        // guaranteed (kPopcountBits < kMaxDirectBits), so add() order is
-        // irrelevant to the stored integer counts.
-        std::array<std::uint64_t, std::size_t{1} << kPopcountBits> combos;
+        // 2^bits histogram of a sample comes from conjunction popcounts —
+        // combos[key] has lane L set iff lane L observed `key` — with no
+        // transpose and no per-lane work at all. The expansion is pure SIMD
+        // word logic; only the final per-key popcount touches limbs, and it
+        // stops at the active limb. Direct tables guaranteed
+        // (kPopcountBits < kMaxDirectBits), so add() order is irrelevant to
+        // the stored integer counts.
+        std::array<Word, std::size_t{1} << kPopcountBits> combos;
         std::uint64_t* const counts = table.direct_data();
         for (const Sample& sample : buf) {
-          combos[0] = ~std::uint64_t{0};
+          combos[0] = Word::ones();
           std::size_t n = 1;
           for (std::size_t i = 0; i < k; ++i) {
-            const std::uint64_t w = sample.now[set.dense[i]];
+            const Word w = obs_word(sample.now, set.dense[i]);
             for (std::size_t c = 0; c < n; ++c) {
-              const std::uint64_t m = combos[c];
+              const Word m = combos[c];
               combos[c + n] = m & w;
               combos[c] = m & ~w;
             }
@@ -449,9 +672,9 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
           }
           if (transitions) {
             for (std::size_t i = 0; i < k; ++i) {
-              const std::uint64_t w = sample.prev[set.dense[i]];
+              const Word w = obs_word(sample.prev, set.dense[i]);
               for (std::size_t c = 0; c < n; ++c) {
-                const std::uint64_t m = combos[c];
+                const Word m = combos[c];
                 combos[c + n] = m & w;
                 combos[c] = m & ~w;
               }
@@ -460,67 +683,110 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
           }
           std::uint64_t* const group_counts =
               counts + static_cast<std::size_t>(sample.group);
-          for (std::size_t key = 0; key < n; ++key)
-            group_counts[2 * key] += static_cast<std::uint64_t>(
-                common::popcount64(combos[key]));
+          if (sample.active == kLimbs) {
+            for (std::size_t key = 0; key < n; ++key)
+              group_counts[2 * key] +=
+                  static_cast<std::uint64_t>(combos[key].popcount());
+          } else {
+            for (std::size_t key = 0; key < n; ++key)
+              group_counts[2 * key] += static_cast<std::uint64_t>(
+                  combos[key].popcount(sample.active));
+          }
         }
+        charge(g_acc_path_nanos.narrow);
         continue;
       }
       // Wider exact sets: gather the observation words as matrix rows and
-      // transpose; row L then holds lane L's key. Up to 64/bits samples of
-      // the same group pack into one transpose (sample s at bit offset
-      // s*bits), amortizing its fixed cost; add_packed() extracts
-      // sample-major, preserving the scalar reference's insertion order.
+      // transpose one 64-lane block per active limb; row L then holds lane
+      // L's key. Up to 64/bits samples of the same group pack into one
+      // transpose (sample s at bit offset s*bits), amortizing its fixed
+      // cost; add_packed() extracts sample-major. Limb blocks replay the
+      // same key multiset as the 64-lane reference, just in a different
+      // insertion order — direct tables are order-free and chunk tables
+      // are unlimited (pooling only happens at the sorted master merge),
+      // so the counts stay bit-identical.
       {
         const unsigned pack = static_cast<unsigned>(
             std::size_t{64} / set.observation_bits);
         std::size_t idx = 0;
         while (idx < buf.size()) {
           const int group = buf[idx].group;
+          const unsigned active = buf[idx].active;
+          const std::size_t idx0 = idx;
           unsigned packed = 0;
           while (idx < buf.size() && packed < pack &&
                  buf[idx].group == group) {
-            const Sample& sample = buf[idx];
-            std::uint64_t* row = keys.data() + packed * set.observation_bits;
-            for (std::size_t i = 0; i < k; ++i)
-              row[i] = sample.now[set.dense[i]];
-            if (transitions)
-              for (std::size_t i = 0; i < k; ++i)
-                row[k + i] = sample.prev[set.dense[i]];
             ++packed;
             ++idx;
           }
-          std::fill(keys.begin() + packed * set.observation_bits, keys.end(),
-                    0);
-          common::transpose64(keys.data());
-          table.add_packed(keys.data(),
-                           static_cast<unsigned>(set.observation_bits), packed,
-                           group);
+          for (unsigned b = 0; b < active; ++b) {
+            for (unsigned s = 0; s < packed; ++s) {
+              const Sample& sample = buf[idx0 + s];
+              std::uint64_t* row = keys.data() + s * set.observation_bits;
+              for (std::size_t i = 0; i < k; ++i)
+                row[i] = sample.now[set.dense[i] * kLimbs + b];
+              if (transitions)
+                for (std::size_t i = 0; i < k; ++i)
+                  row[k + i] = sample.prev[set.dense[i] * kLimbs + b];
+            }
+            std::fill(keys.begin() + packed * set.observation_bits, keys.end(),
+                      0);
+            common::transpose64(keys.data());
+            table.add_packed(keys.data(),
+                             static_cast<unsigned>(set.observation_bits),
+                             packed, group);
+          }
         }
+        charge(g_acc_path_nanos.packed);
       }
+    }
+  };
+  auto accumulate = [&](const std::vector<Sample>& buf, std::size_t set_begin,
+                        std::size_t set_end, ChunkAccumulators& acc,
+                        std::vector<stats::FlatCountTable>& direct_tables) {
+    switch (limbs) {
+      case 1:
+        accumulate_impl.template operator()<1>(buf, set_begin, set_end, acc,
+                                               direct_tables);
+        break;
+      case 4:
+        accumulate_impl.template operator()<4>(buf, set_begin, set_end, acc,
+                                               direct_tables);
+        break;
+      case 8:
+        accumulate_impl.template operator()<8>(buf, set_begin, set_end, acc,
+                                               direct_tables);
+        break;
+      default:
+        SCA_ASSERT(false, "campaign: unsupported limb count");
     }
   };
 
   // --- main loop ------------------------------------------------------------------
-  const std::size_t samples_per_run =
-      std::max<std::size_t>(1, options.samples_per_run);
   const std::size_t observations_per_run = 64 * samples_per_run;
   const std::size_t runs_per_group = common::ceil_div(
       std::max<std::size_t>(options.simulations, 64), observations_per_run);
 
-  // The run budget is sharded into fixed chunks; chunk c simulates runs
-  // [c * runs_per_chunk, ...) from an RNG stream seeded by
-  // chunk_seed(options.seed, c). The chunk grid depends only on the
-  // workload, never on the thread count, so every thread count (including
-  // 1) produces bit-identical statistics. ~256 chunks bound the ordered
-  // merge overhead while load-balancing well beyond any sane thread count.
-  const std::size_t runs_per_chunk =
-      common::ceil_div(runs_per_group, std::size_t{256});
+  // The run budget is sharded into fixed chunks; chunk c simulates the
+  // 64-lane runs [c * runs_per_chunk, ...), whose randomness the counter
+  // PRG addresses by absolute run. The chunk grid depends only on the
+  // workload — never on the thread count or the lane width — so every
+  // thread count and every lane width produces bit-identical statistics
+  // (wide execution blocks align to the chunk start; a chunk tail shorter
+  // than the lane width just runs with inactive limbs). ~256 chunks bound
+  // the ordered merge overhead while load-balancing well beyond any sane
+  // thread count. Campaigns of at least 256 runs round the chunk size up
+  // to the widest limb count, so the steady-state execution block is full
+  // at every lane width; tiny campaigns keep the fine seed grid instead —
+  // stage/early-stop granularity matters more than SIMD width there.
+  const std::size_t runs_per_chunk = [&] {
+    const std::size_t fine = common::ceil_div(runs_per_group, std::size_t{256});
+    if (runs_per_group < 256) return fine;
+    return common::ceil_div(fine, std::size_t{kMaxLimbs}) * kMaxLimbs;
+  }();
   const std::size_t num_chunks =
       common::ceil_div(runs_per_group, runs_per_chunk);
-  const std::size_t cycles_per_run =
-      2 * (options.warmup_cycles +
-           samples_per_run * options.sample_interval);
+  const std::size_t cycles_per_run = 2 * cycles_per_group;
 
   // Stage boundaries over the chunk grid. A stage is a contiguous chunk
   // range; because every chunk draws from its own seeded stream and the
@@ -595,10 +861,11 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
 
   // Configuration fingerprint: everything the snapshot's validity depends
   // on — seed, budget, chunk/stage/batch grids, sampling parameters, and
-  // the prepared probe sets. Thread count and accumulation regime are
-  // deliberately excluded (both are bit-identical by contract, so resuming
-  // across them is sound); the batch grid covers the one way threads could
-  // matter, since the memory budget splits per worker.
+  // the prepared probe sets. Thread count, lane width, kernel choice, and
+  // accumulation regime are deliberately excluded (all are bit-identical
+  // by contract, so resuming across them is sound); the batch grid covers
+  // the one way threads could matter, since the memory budget splits per
+  // worker.
   std::uint64_t fingerprint = 0;
   {
     common::Fnv1a fp;
@@ -727,7 +994,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
         },
         [&](WorkerCtx& ctx, std::size_t index) {
           const std::size_t chunk = chunk_begin + index;
-          Xoshiro256 rng(common::chunk_seed(options.seed, chunk));
+          const CounterPrg prg(options.seed);
           ChunkAccumulators acc;
           if (ttest) {
             acc.hw_hist.resize(set_end - set_begin);
@@ -747,7 +1014,12 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
               std::min(runs_per_group, run_begin + runs_per_chunk);
           std::vector<Sample> buf;
           buf.reserve(2 * samples_per_run);
-          for (std::size_t run = run_begin; run < run_end; ++run) {
+          // One iteration simulates limbs() 64-lane runs at once; the last
+          // wide run of the chunk may carry a tail (active < limbs), whose
+          // inactive limbs are fed nothing and accumulated never.
+          for (std::size_t run = run_begin; run < run_end; run += limbs) {
+            const unsigned active = static_cast<unsigned>(
+                std::min<std::size_t>(limbs, run_end - run));
             buf.clear();
             const auto sim_start = std::chrono::steady_clock::now();
             // Groups are interleaved so that a bin-limited table fills its
@@ -757,22 +1029,26 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
             for (int group = 0; group < 2; ++group) {
               sim::Simulator& simulator = ctx.simulator;
               simulator.reset();
+              std::size_t cycle_in_group = 0;
               // The previous-cycle snapshot only feeds transition models;
               // skipping it elsewhere saves a full stable-point copy per
               // cycle.
               for (std::size_t c = 0; c < options.warmup_cycles; ++c) {
-                feed_cycle(simulator, rng, group == 0);
+                feed_cycle(simulator, prg, run, active, group,
+                           cycle_in_group++);
                 simulator.settle();
                 if (transitions) snapshot_stable(simulator, ctx.prev_snapshot);
                 simulator.clock();
               }
               for (std::size_t s = 0; s < samples_per_run; ++s) {
                 for (std::size_t c = 0; c < options.sample_interval; ++c) {
-                  feed_cycle(simulator, rng, group == 0);
+                  feed_cycle(simulator, prg, run, active, group,
+                             cycle_in_group++);
                   simulator.settle();
                   if (c + 1 == options.sample_interval) {
                     Sample sample;
                     sample.group = group;
+                    sample.active = active;
                     snapshot_stable(simulator, sample.now);
                     if (transitions) sample.prev = ctx.prev_snapshot;
                     buf.push_back(std::move(sample));
@@ -1041,6 +1317,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   result.dropped_sets = dropped;
   result.simulations_per_group = runs_per_group * observations_per_run;
   result.threads_used = threads;
+  result.lanes_used = lanes;
   result.total_cycles = total_cycles;
   result.table_batches = table_batches;
   result.simulate_seconds = simulate_seconds;
@@ -1066,6 +1343,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
             [](const ProbeSetResult& a, const ProbeSetResult& b) {
               return a.minus_log10_p > b.minus_log10_p;
             });
+  report_acc_debug();
   return result;
 }
 

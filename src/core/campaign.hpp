@@ -86,9 +86,23 @@ struct CampaignOptions {
   /// Worker threads for the sharded simulation (0 = the SCA_THREADS
   /// environment variable, else hardware concurrency). The campaign is
   /// bit-identical for every thread count: the run budget is split into
-  /// fixed chunks, chunk c draws from an RNG stream seeded by
-  /// f(seed, c), and per-chunk tables merge in chunk order.
+  /// fixed chunks, every fresh-randomness draw is a pure function of
+  /// (seed, cycle, slot) through the counter-mode PRG, and per-chunk
+  /// tables merge in chunk order.
   unsigned threads = 0;
+
+  /// Simulation lane width: 64, 256, 512, or 0 = auto (the SCA_LANES
+  /// environment variable, else the widest words the CPU runs well —
+  /// 512 with AVX-512, 256 otherwise). The counter-mode PRG addresses
+  /// randomness by absolute 64-lane run, so every lane width produces
+  /// bit-identical statistics; the checkpoint fingerprint excludes it
+  /// and a campaign may resume under a different width.
+  unsigned lanes = 0;
+
+  /// Run the interpreted (non-compiled, 64-lane) reference kernel instead
+  /// of the levelized straight-line tape — the correctness oracle the
+  /// compiled wide kernel is tested against. Requires lanes 0 or 64.
+  bool interpreted_kernel = false;
 
   /// Leakage threshold on -log10(p), PROLEAD's default.
   double threshold = 7.0;
@@ -204,9 +218,12 @@ struct CampaignResult {
   std::size_t dropped_sets = 0;  ///< sets beyond max_probe_sets
   std::size_t simulations_per_group = 0;
   unsigned threads_used = 1;     ///< resolved worker-thread count
-  /// Simulated clock cycles over all runs, groups, and table batches — the
-  /// number of settle() passes; gate evaluations = total_cycles x
-  /// combinational gates x 64 lanes. Feeds the perf trajectory.
+  unsigned lanes_used = 64;      ///< resolved simulation lane width
+  /// Simulated clock cycles over all runs, groups, and table batches, in
+  /// 64-lane-run units regardless of lane width (wide words retire
+  /// lanes/64 of these per settle() pass); gate evaluations =
+  /// total_cycles x combinational gates x 64 lanes. Feeds the perf
+  /// trajectory.
   std::size_t total_cycles = 0;
   std::size_t table_batches = 0;  ///< simulation passes under the memory budget
   /// Per-phase CPU time summed over all workers and batches: simulation

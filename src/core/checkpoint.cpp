@@ -14,7 +14,10 @@ using common::require;
 namespace {
 
 constexpr char kMagic[8] = {'S', 'C', 'A', 'C', 'K', 'P', 'T', '1'};
-constexpr std::uint64_t kVersion = 1;
+// Version 2: the campaign switched to the counter-mode PRG (and wide-run
+// aligned chunk grids), so counts in version-1 snapshots were drawn from a
+// different randomness sequence and must not be resumed from.
+constexpr std::uint64_t kVersion = 2;
 
 // Caps on vector lengths read from disk, so a corrupted count cannot
 // trigger an absurd allocation before the checksum check would catch it.

@@ -1,9 +1,17 @@
-// Cycle-accurate, 64-lane bit-parallel netlist simulator.
+// Cycle-accurate, wide-lane bit-parallel netlist simulator.
 //
-// Each signal carries a 64-bit word: bit L is the signal's value in
-// simulation lane L, so one pass over the gate array advances 64 independent
-// simulations at once. This is the same trick PROLEAD uses to reach millions
-// of simulations per campaign.
+// Each signal carries one word of W = 64, 256 or 512 simulation lanes (lane
+// L = bit L % 64 of limb L / 64), so one pass over the logic advances W
+// independent simulations at once — the PROLEAD trick, widened to SIMD
+// words. Two execution engines share identical semantics:
+//
+//   * **compiled** (default): Schedule construction levelizes the gates,
+//     eliminates dead logic outside the observed cone, and emits a flat op
+//     tape over a compact reusable slot file (sim/tape.hpp); settle() is a
+//     tight dispatch loop with no per-gate GateKind branching.
+//   * **interpreted**: the classic one-gate-at-a-time switch loop over the
+//     full signal array, 64 lanes only — kept as the bit-identical
+//     correctness oracle the kernel tests compare against.
 //
 // Per-cycle protocol (matching the robust probing model's view of time):
 //   1. set_input(...) for every primary input          (cycle t values)
@@ -19,17 +27,35 @@
 #include <vector>
 
 #include "src/netlist/ir.hpp"
+#include "src/sim/tape.hpp"
 
 namespace sca::sim {
 
-/// The netlist-derived evaluation plan (topological order of combinational
-/// gates, register list). Immutable after construction, so one Schedule can
-/// back any number of concurrently running Simulators — the parallel
-/// campaign builds it once and hands a const reference to every worker.
+struct ScheduleOptions {
+  /// Simulation lanes per signal: 64, 256, or 512 (limbs 1, 4, 8).
+  unsigned lanes = 64;
+  /// Compile to the straight-line tape (false = the interpreted 64-lane
+  /// oracle; requires lanes == 64).
+  bool compile = true;
+  /// Signals whose settled values must stay readable through value() —
+  /// everything outside their cone (and the register state cones) is
+  /// eliminated from the compiled tape. Empty = every signal is observable
+  /// (no dead-gate elimination), the right default for interactive use.
+  std::vector<netlist::SignalId> observed;
+};
+
+/// The netlist-derived evaluation plan (compiled tape or interpreted
+/// topological order, register list, lane width). Immutable after
+/// construction, so one Schedule can back any number of concurrently
+/// running Simulators — the parallel campaign builds it once and hands a
+/// const reference to every worker.
 class Schedule {
  public:
-  /// The netlist must be validated and must outlive the schedule.
-  explicit Schedule(const netlist::Netlist& nl);
+  /// Fully observable 64-lane compiled schedule — drop-in for the classic
+  /// interpreted simulator. The netlist must be validated and outlive the
+  /// schedule.
+  explicit Schedule(const netlist::Netlist& nl) : Schedule(nl, {}) {}
+  Schedule(const netlist::Netlist& nl, ScheduleOptions options);
 
   const netlist::Netlist& netlist() const { return *nl_; }
   const std::vector<netlist::SignalId>& comb_order() const {
@@ -37,19 +63,42 @@ class Schedule {
   }
   const std::vector<netlist::SignalId>& registers() const { return regs_; }
 
-  /// Combinational gate count — the work of one settle() pass (x 64 lanes).
+  /// Combinational gate count of the netlist — the interpreted work of one
+  /// settle() pass (x lanes). The compiled tape may run fewer (live_gates).
   std::size_t comb_gates() const { return comb_order_.size(); }
+
+  unsigned lanes() const { return lanes_; }
+  unsigned limbs() const { return lanes_ / 64; }
+  bool compiled() const { return compiled_; }
+  const Tape& tape() const { return tape_; }
+
+  /// Value slot of a signal, or Tape::kNoSlot if dead-gate elimination
+  /// removed it (interpreted schedules map every signal).
+  std::uint32_t slot_of(netlist::SignalId id) const {
+    return compiled_ ? tape_.slot_of[id] : id;
+  }
+  std::size_t slot_count() const {
+    return compiled_ ? tape_.slot_count : nl_->size();
+  }
+
+  // Kernel statistics (zero when interpreted).
+  std::size_t live_gates() const { return compiled_ ? tape_.live_gates : 0; }
+  std::size_t levels() const { return compiled_ ? tape_.levels : 0; }
+  std::size_t tape_ops() const { return compiled_ ? tape_.ops.size() : 0; }
 
  private:
   const netlist::Netlist* nl_;
+  unsigned lanes_ = 64;
+  bool compiled_ = true;
   std::vector<netlist::SignalId> comb_order_;
   std::vector<netlist::SignalId> regs_;
+  Tape tape_;
 };
 
 class Simulator {
  public:
-  /// Prepares evaluation structures. The netlist must be validated and must
-  /// outlive the simulator.
+  /// Prepares evaluation structures (compiled, 64 lanes, fully observable).
+  /// The netlist must be validated and must outlive the simulator.
   explicit Simulator(const netlist::Netlist& nl);
 
   /// Shares a prepared schedule (and its netlist) instead of re-deriving
@@ -57,18 +106,26 @@ class Simulator {
   /// constructor the per-thread simulators of a parallel campaign use.
   explicit Simulator(const Schedule& schedule);
 
+  unsigned lanes() const { return schedule_->lanes(); }
+  unsigned limbs() const { return schedule_->limbs(); }
+
   /// Clears register state and input values (all lanes 0).
   void reset();
 
-  /// Sets the 64-lane value word of a primary input.
+  /// Sets the first 64 lanes of a primary input; lanes >= 64 are cleared.
   void set_input(netlist::SignalId input, std::uint64_t lanes);
 
-  /// Sets one input in all lanes to the same bit.
-  void set_input_all_lanes(netlist::SignalId input, bool v) {
-    set_input(input, v ? ~std::uint64_t{0} : 0);
-  }
+  /// Sets one input in all lanes (all limbs) to the same bit.
+  void set_input_all_lanes(netlist::SignalId input, bool v);
 
-  /// Evaluates all combinational gates in topological order.
+  /// Sets every limb of a primary input (limbs() words at `limb_words`).
+  void set_input_limbs(netlist::SignalId input, const std::uint64_t* limb_words);
+
+  /// Mutable limb array of a primary input — the zero-copy feed path of the
+  /// wide campaign loop. limbs() words.
+  std::uint64_t* input_limbs(netlist::SignalId input);
+
+  /// Evaluates all combinational gates (compiled tape or interpreted loop).
   void settle();
 
   /// Latches every register's D input; call after settle().
@@ -80,22 +137,33 @@ class Simulator {
     clock();
   }
 
-  /// 64-lane value word of any signal (see protocol above for semantics).
-  std::uint64_t value(netlist::SignalId signal) const;
+  /// First 64 lanes of any observable signal (see protocol above). Throws
+  /// if dead-gate elimination removed the signal — add it to
+  /// ScheduleOptions::observed to keep it readable.
+  std::uint64_t value(netlist::SignalId signal) const {
+    return value_limbs(signal)[0];
+  }
 
-  /// Value of a signal in one lane, as 0/1.
+  /// All limbs() lane words of an observable signal.
+  const std::uint64_t* value_limbs(netlist::SignalId signal) const;
+
+  /// Value of a signal in one lane (lane < lanes()), as 0/1.
   bool value_in_lane(netlist::SignalId signal, unsigned lane) const {
-    return (value(signal) >> lane) & 1u;
+    return (value_limbs(signal)[lane / 64] >> (lane % 64)) & 1u;
   }
 
   const netlist::Netlist& netlist() const { return *nl_; }
+  const Schedule& schedule() const { return *schedule_; }
 
  private:
+  std::uint64_t* input_slot(netlist::SignalId input);
+  void settle_interpreted();
+
   const netlist::Netlist* nl_;
   std::shared_ptr<const Schedule> owned_schedule_;  // only for the nl ctor
   const Schedule* schedule_;
-  std::vector<std::uint64_t> values_;
-  std::vector<std::uint64_t> reg_next_;
+  std::vector<std::uint64_t> slots_;     // slot i at [i * limbs, (i+1) * limbs)
+  std::vector<std::uint64_t> reg_next_;  // clock() double buffer
 };
 
 }  // namespace sca::sim

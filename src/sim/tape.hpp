@@ -1,0 +1,99 @@
+// Straight-line compiled form of a netlist's combinational logic.
+//
+// Schedule construction can compile the gate array once into a flat op tape
+// instead of interpreting it gate by gate:
+//
+//   * **Dead-gate elimination** against the observed signal cone: only gates
+//     feeding an observed signal or a register D input survive. A leakage
+//     campaign observes stable points (inputs and registers) only, so the
+//     whole non-state-bearing slice of the cloud drops out of the hot loop.
+//   * **Levelization**: surviving gates are batched by combinational depth
+//     (sources at level 0, a gate one past its deepest fanin). Gates within
+//     a level are independent, so they can be reordered freely — they are
+//     sorted by opcode, turning the tape into long homogeneous runs.
+//   * **Register-pressure-aware slot allocation**: persistent values
+//     (sources, observed signals, register D inputs) get fixed slots; dead
+//     intermediates recycle a small free-slot stack the moment their last
+//     reader has executed, so the working set stays cache-resident instead
+//     of spanning one word per signal.
+//   * **Uniform two-operand ops**: MUX lowers to XOR/AND/XOR, BUF to COPY,
+//     leaving eight opcodes. Execution dispatches once per *run* of equal
+//     opcodes and then streams — no per-gate branching on GateKind for the
+//     common AND/XOR/NOT cases (or any other).
+//
+// The tape is lane-width agnostic: run_tape<kLimbs> executes it over
+// SimdWord<kLimbs> values, with slot i's limbs at slots[i * kLimbs]. The
+// same tape run at any width computes bit-identical lane values, which is
+// what lets the 64-lane interpreted simulator serve as the correctness
+// oracle for the 256/512-lane kernel.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/netlist/ir.hpp"
+
+namespace sca::sim {
+
+enum class TapeOpcode : std::uint32_t {
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+  kNot,
+  kCopy,
+};
+
+/// One compiled op: slots[dst] = slots[a] OP slots[b] (unary ops read `a`
+/// only; `b` is set equal to `a` so the operand is always loadable).
+struct TapeOp {
+  std::uint32_t dst = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// A maximal run of consecutive ops sharing one opcode: ops [begin of the
+/// previous run's end, end) all execute `op`.
+struct TapeRun {
+  TapeOpcode op = TapeOpcode::kAnd;
+  std::uint32_t end = 0;
+};
+
+struct Tape {
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  std::vector<TapeOp> ops;
+  std::vector<TapeRun> runs;
+  /// Signal id -> value slot; kNoSlot for signals eliminated as dead.
+  std::vector<std::uint32_t> slot_of;
+  /// (register slot, D-input slot) per register, in netlist register order.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> reg_latch;
+  /// Slots holding constant-1 signals; reset() fills them with all-ones.
+  std::vector<std::uint32_t> const_one_slots;
+  std::uint32_t slot_count = 0;
+
+  // Compilation statistics (reported by Schedule).
+  std::size_t live_gates = 0;  ///< comb gates surviving dead-gate elimination
+  std::size_t levels = 0;      ///< combinational depth of the live cone
+};
+
+/// Compiles the combinational logic of `nl` into a tape. `observed` lists
+/// the signals whose settled values must stay readable (empty = every
+/// signal, i.e. no dead-gate elimination); register D cones are always kept
+/// so state advances correctly.
+Tape compile_tape(const netlist::Netlist& nl,
+                  const std::vector<netlist::SignalId>& observed);
+
+/// Executes one settle pass over the slot file (kLimbs 64-bit words per
+/// slot, i.e. 64 * kLimbs lanes). Instantiated for kLimbs in {1, 4, 8}.
+template <unsigned kLimbs>
+void run_tape(const Tape& tape, std::uint64_t* slots);
+
+extern template void run_tape<1>(const Tape&, std::uint64_t*);
+extern template void run_tape<4>(const Tape&, std::uint64_t*);
+extern template void run_tape<8>(const Tape&, std::uint64_t*);
+
+}  // namespace sca::sim

@@ -11,7 +11,8 @@ using netlist::SignalId;
 VcdTrace::VcdTrace(const Simulator& simulator, std::vector<SignalId> signals,
                    unsigned lane)
     : simulator_(&simulator), signals_(std::move(signals)), lane_(lane) {
-  common::require(lane < 64, "VcdTrace: lane must be < 64");
+  common::require(lane < simulator.lanes(),
+                  "VcdTrace: lane must be < the schedule's lane width");
   if (signals_.empty()) {
     const netlist::Netlist& nl = simulator.netlist();
     for (SignalId id = 0; id < nl.size(); ++id)

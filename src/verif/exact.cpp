@@ -8,7 +8,10 @@
 #include <sstream>
 #include <unordered_map>
 
+#include <bit>
+
 #include "src/common/check.hpp"
+#include "src/common/simd.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/netlist/cone.hpp"
 #include "src/verif/unroll.hpp"
@@ -27,10 +30,30 @@ using netlist::SignalId;
 namespace exact_detail {
 
 // Lane patterns for the first six enumeration variables: variable j toggles
-// with period 2^(j+1) across the 64 lanes of one block.
+// with period 2^(j+1) across the 64 lanes of one block. In a wide SIMD
+// block the next log2(limbs) variables stripe across limbs (limb i of
+// variable 6+k is all-ones iff bit k of i is set), so lane L of a W-lane
+// block still enumerates assignment L — the 64-lane layout, just wider.
 constexpr std::uint64_t kLanePattern[6] = {
     0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
     0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull};
+
+// Enumeration word of variable `j` in wide block `block`: bit L of the word
+// (lane numbering: bit L%64 of limb L/64) is bit j of the assignment index
+// block * kLanes + L.
+template <unsigned kLimbs>
+common::SimdWord<kLimbs> enumeration_word(std::size_t j, std::size_t block) {
+  using Word = common::SimdWord<kLimbs>;
+  constexpr unsigned kLimbBits = std::countr_zero(kLimbs);
+  if (j < 6) return Word::broadcast(kLanePattern[j]);
+  if (j < 6 + kLimbBits) {
+    Word w = Word::zero();
+    for (unsigned i = 0; i < kLimbs; ++i)
+      if ((i >> (j - 6)) & 1u) w.set_limb(i, ~std::uint64_t{0});
+    return w;
+  }
+  return ((block >> (j - 6 - kLimbBits)) & 1u) ? Word::ones() : Word::zero();
+}
 
 // One enumeration variable of the exact analysis.
 struct Var {
@@ -201,20 +224,22 @@ class ExactEngine {
     return cone;
   }
 
-  /// Evaluates the cone 64-lane bit-parallel; inputs must be driven in
-  /// `values` beforehand.
+  /// Evaluates the cone W-lane bit-parallel (W = 64 * kLimbs); inputs must
+  /// be driven in `values` beforehand.
+  template <unsigned kLimbs>
   void eval_cone(const std::vector<SignalId>& cone,
-                 std::vector<std::uint64_t>& values) const {
+                 std::vector<common::SimdWord<kLimbs>>& values) const {
+    using Word = common::SimdWord<kLimbs>;
     for (SignalId id : cone) {
       const netlist::Gate& g = unrolled_.nl.gate(id);
       switch (g.kind) {
         case GateKind::kInput:
           break;
         case GateKind::kConst0:
-          values[id] = 0;
+          values[id] = Word::zero();
           break;
         case GateKind::kConst1:
-          values[id] = ~std::uint64_t{0};
+          values[id] = Word::ones();
           break;
         case GateKind::kBuf:
           values[id] = values[g.fanin[0]];
@@ -251,9 +276,14 @@ class ExactEngine {
   }
 
   /// Exact joint histogram counts[secret_value][observation_value] for an
-  /// analysis. secret_value packs the secret-bit variables in
-  /// secret_var_indices order.
-  std::vector<std::vector<std::uint32_t>> enumerate(const Analysis& a) const {
+  /// analysis at one batch width. The counts are integers accumulated once
+  /// per enumerated assignment, so every width produces the identical
+  /// histogram; wider words just evaluate the cone fewer times.
+  template <unsigned kLimbs>
+  std::vector<std::vector<std::uint32_t>> enumerate_impl(
+      const Analysis& a) const {
+    using Word = common::SimdWord<kLimbs>;
+    constexpr std::size_t kLaneBits = 6 + std::countr_zero(kLimbs);
     const std::size_t nv = a.vars.size();
     const std::size_t n_secret = a.secret_var_indices.size();
     const std::size_t n_obs = a.observation.size();
@@ -263,37 +293,54 @@ class ExactEngine {
 
     const std::vector<SignalId> cone = build_cone(a);
 
-    std::vector<std::uint64_t> values(unrolled_.nl.size(), 0);
+    std::vector<Word> values(unrolled_.nl.size(), Word::zero());
     const std::size_t blocks =
-        nv > 6 ? (std::size_t{1} << (nv - 6)) : 1;
-    const std::size_t lanes_used = nv >= 6 ? 64 : (std::size_t{1} << nv);
+        nv > kLaneBits ? (std::size_t{1} << (nv - kLaneBits)) : 1;
+    const std::size_t lanes_used =
+        nv >= kLaneBits ? Word::kLanes : (std::size_t{1} << nv);
 
-    std::vector<std::uint64_t> var_words(nv);
+    std::vector<Word> var_words(nv, Word::zero());
     for (std::size_t block = 0; block < blocks; ++block) {
       for (std::size_t j = 0; j < nv; ++j)
-        var_words[j] = j < 6 ? kLanePattern[j]
-                             : (((block >> (j - 6)) & 1u) ? ~std::uint64_t{0}
-                                                          : 0);
+        var_words[j] = enumeration_word<kLimbs>(j, block);
       // Drive inputs and evaluate the cone.
       for (const InputExpr& expr : a.input_exprs) {
-        std::uint64_t w = 0;
+        Word w = Word::zero();
         for (std::size_t v : expr.var_indices) w ^= var_words[v];
         values[expr.input] = w;
       }
-      eval_cone(cone, values);
+      eval_cone<kLimbs>(cone, values);
       // Accumulate.
       for (std::size_t lane = 0; lane < lanes_used; ++lane) {
+        const unsigned limb = static_cast<unsigned>(lane / 64);
+        const unsigned bit = static_cast<unsigned>(lane % 64);
         std::uint64_t secret_value = 0;
         for (std::size_t k = 0; k < n_secret; ++k)
           secret_value |=
-              ((var_words[a.secret_var_indices[k]] >> lane) & 1u) << k;
+              ((var_words[a.secret_var_indices[k]].limb(limb) >> bit) & 1u)
+              << k;
         std::uint64_t obs_value = 0;
         for (std::size_t k = 0; k < n_obs; ++k)
-          obs_value |= ((values[a.observation[k]] >> lane) & 1u) << k;
+          obs_value |= ((values[a.observation[k]].limb(limb) >> bit) & 1u)
+                       << k;
         counts[secret_value][obs_value] += 1;
       }
     }
     return counts;
+  }
+
+  /// Exact joint histogram counts[secret_value][observation_value] for an
+  /// analysis. secret_value packs the secret-bit variables in
+  /// secret_var_indices order. Batch width per ExactOptions::lanes.
+  std::vector<std::vector<std::uint32_t>> enumerate(const Analysis& a) const {
+    switch (common::resolve_lanes(options_.lanes) / 64) {
+      case 4:
+        return enumerate_impl<4>(a);
+      case 8:
+        return enumerate_impl<8>(a);
+      default:
+        return enumerate_impl<1>(a);
+    }
   }
 
   /// First enumeration assignment hitting (secret_value, obs_value); every
@@ -307,36 +354,37 @@ class ExactEngine {
     const std::size_t n_obs = a.observation.size();
     const std::vector<SignalId> cone = build_cone(a);
 
-    std::vector<std::uint64_t> values(unrolled_.nl.size(), 0);
+    // 64-lane blocks are plenty here: preimage extraction stops at the
+    // first hit and only ever runs on one (secret, obs) certificate.
+    using Word = common::SimdWord<1>;
+    std::vector<Word> values(unrolled_.nl.size(), Word::zero());
     const std::size_t blocks = nv > 6 ? (std::size_t{1} << (nv - 6)) : 1;
     const std::size_t lanes_used = nv >= 6 ? 64 : (std::size_t{1} << nv);
-    std::vector<std::uint64_t> var_words(nv);
+    std::vector<Word> var_words(nv, Word::zero());
     for (std::size_t block = 0; block < blocks; ++block) {
       for (std::size_t j = 0; j < nv; ++j)
-        var_words[j] = j < 6 ? kLanePattern[j]
-                             : (((block >> (j - 6)) & 1u) ? ~std::uint64_t{0}
-                                                          : 0);
+        var_words[j] = enumeration_word<1>(j, block);
       for (const InputExpr& expr : a.input_exprs) {
-        std::uint64_t w = 0;
+        Word w = Word::zero();
         for (std::size_t v : expr.var_indices) w ^= var_words[v];
         values[expr.input] = w;
       }
-      eval_cone(cone, values);
+      eval_cone<1>(cone, values);
       for (std::size_t lane = 0; lane < lanes_used; ++lane) {
         std::uint64_t secret_value = 0;
         for (std::size_t k = 0; k < n_secret; ++k)
           secret_value |=
-              ((var_words[a.secret_var_indices[k]] >> lane) & 1u) << k;
+              ((var_words[a.secret_var_indices[k]].limb(0) >> lane) & 1u) << k;
         if (secret_value != want_secret) continue;
         std::uint64_t obs_value = 0;
         for (std::size_t k = 0; k < n_obs; ++k)
-          obs_value |= ((values[a.observation[k]] >> lane) & 1u) << k;
+          obs_value |= ((values[a.observation[k]].limb(0) >> lane) & 1u) << k;
         if (obs_value != want_obs) continue;
         std::vector<std::pair<std::string, bool>> out;
         out.reserve(a.input_exprs.size());
         for (const InputExpr& expr : a.input_exprs)
           out.emplace_back(unrolled_.nl.signal_name(expr.input),
-                           ((values[expr.input] >> lane) & 1u) != 0);
+                           ((values[expr.input].limb(0) >> lane) & 1u) != 0);
         return out;
       }
     }

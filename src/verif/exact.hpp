@@ -43,6 +43,12 @@ struct ExactOptions {
   /// previous cycle's values of every observed stable signal (the model of
   /// lint::LintModel::kGlitchTransition), so R4 findings can be certified.
   bool transitions = false;
+  /// Enumeration batch width in bit-parallel lanes (64, 256, or 512); 0
+  /// resolves like the campaign engine (SCA_LANES env, else the native
+  /// SIMD width). The joint counts are exact integers, so every width
+  /// yields the identical report — wider just enumerates more assignments
+  /// per cone evaluation.
+  unsigned lanes = 0;
   /// Inputs instantiated once and shared by all unroll cycles — the slice
   /// inputs standing in for cut state registers (netlist/slice.hpp).
   std::vector<netlist::SignalId> held_inputs;

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -346,7 +347,16 @@ TEST(EarlyStop, StoppedCampaignStillMatchesLeakNames) {
   opts.early_stop_margin = 3.0;
   const CampaignResult stopped = run_fixed_vs_random(nl, opts);
   ASSERT_TRUE(stopped.early_stopped);
-  EXPECT_EQ(stopped.results.front().name, full.results.front().name);
+  // Nearly-tied sets may swap ranks between the partial and full budgets,
+  // so compare against the full run's leak list, not its single top name.
+  std::vector<std::string> full_leaks;
+  for (const ProbeSetResult& r : full.results)
+    if (r.leaking) full_leaks.push_back(r.name);
+  EXPECT_NE(std::find(full_leaks.begin(), full_leaks.end(),
+                      stopped.results.front().name),
+            full_leaks.end())
+      << "early-stop worst set " << stopped.results.front().name
+      << " is not a gross leak of the full run";
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// Wide compiled-kernel property tests.
+//
+// The contract under test: the compiled straight-line kernel at every lane
+// width (64/256/512, with dead-gate elimination on or off) is bit-identical
+// to the interpreted 64-lane oracle on every gadget the paper evaluates —
+// per limb, per cycle, per signal — and the campaign engine built on it
+// produces bit-identical statistics for every (kernel, lane width, thread
+// count) combination, including across a forced checkpoint/resume that
+// switches both the width and the kernel.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/simd.hpp"
+#include "src/core/campaign.hpp"
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/kronecker.hpp"
+#include "src/gadgets/masked_aes.hpp"
+#include "src/gadgets/masked_sbox.hpp"
+#include "src/netlist/cone.hpp"
+#include "src/netlist/ir.hpp"
+#include "src/netlist/slice.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace sca {
+namespace {
+
+using gadgets::Bus;
+using gadgets::RandomnessPlan;
+using netlist::InputRole;
+using netlist::Netlist;
+using netlist::SignalId;
+
+Netlist kronecker_netlist(const RandomnessPlan& plan) {
+  Netlist nl;
+  std::vector<Bus> shares;
+  for (std::size_t i = 0; i < 2; ++i)
+    shares.push_back(gadgets::make_input_bus(
+        nl, 8, InputRole::kShare, "b" + std::to_string(i) + "_", 0,
+        static_cast<std::uint32_t>(i)));
+  gadgets::build_kronecker(nl, shares, plan);
+  return nl;
+}
+
+Netlist sbox_netlist() {
+  Netlist nl;
+  gadgets::MaskedSboxOptions options;
+  options.kron_plan = RandomnessPlan::kron1_demeyer_eq6();
+  gadgets::build_masked_sbox(nl, options);
+  return nl;
+}
+
+// Runs `cycles` cycles of the wide compiled kernel against limbs-many
+// interpreted 64-lane oracle simulators fed the identical per-limb input
+// words, and requires every readable signal to match in every limb at every
+// cycle. With `observed` non-empty the compiled schedule dead-gate
+// eliminates against that cone and only those signals are compared.
+void expect_wide_matches_oracle(const Netlist& nl, unsigned lanes,
+                                std::size_t cycles,
+                                std::vector<SignalId> observed) {
+  sim::ScheduleOptions wide_opts;
+  wide_opts.lanes = lanes;
+  wide_opts.compile = true;
+  wide_opts.observed = observed;
+  const sim::Schedule wide_schedule(nl, wide_opts);
+  EXPECT_GT(wide_schedule.tape_ops(), 0u);
+  EXPECT_GT(wide_schedule.levels(), 0u);
+  EXPECT_LE(wide_schedule.live_gates(), wide_schedule.comb_gates());
+  sim::Simulator wide(wide_schedule);
+
+  sim::ScheduleOptions oracle_opts;
+  oracle_opts.lanes = 64;
+  oracle_opts.compile = false;
+  const sim::Schedule oracle_schedule(nl, oracle_opts);
+  const unsigned limbs = lanes / 64;
+  std::vector<sim::Simulator> oracles;
+  for (unsigned b = 0; b < limbs; ++b) oracles.emplace_back(oracle_schedule);
+
+  // The comparison set: the observed cone, or every signal when fully
+  // observable.
+  std::vector<SignalId> compare = observed;
+  if (compare.empty())
+    for (SignalId id = 0; id < nl.size(); ++id) compare.push_back(id);
+
+  common::Xoshiro256 rng(0xC0FFEE);
+  std::vector<std::uint64_t> words(limbs);
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    for (const auto& in : nl.inputs()) {
+      for (unsigned b = 0; b < limbs; ++b) words[b] = rng.next();
+      wide.set_input_limbs(in.signal, words.data());
+      for (unsigned b = 0; b < limbs; ++b)
+        oracles[b].set_input(in.signal, words[b]);
+    }
+    wide.settle();
+    for (unsigned b = 0; b < limbs; ++b) oracles[b].settle();
+
+    std::size_t mismatches = 0;
+    for (SignalId id : compare) {
+      const std::uint64_t* v = wide.value_limbs(id);
+      for (unsigned b = 0; b < limbs && mismatches < 5; ++b)
+        if (v[b] != oracles[b].value(id)) {
+          ++mismatches;
+          ADD_FAILURE() << "lanes " << lanes << " cycle " << cycle << " limb "
+                        << b << " signal " << nl.signal_name(id);
+        }
+    }
+    ASSERT_EQ(mismatches, 0u) << "lanes " << lanes << " cycle " << cycle;
+
+    wide.clock();
+    for (unsigned b = 0; b < limbs; ++b) oracles[b].clock();
+  }
+}
+
+void expect_all_widths_match(const Netlist& nl, std::size_t cycles) {
+  // Fully observable (no dead-gate elimination): every signal compared.
+  for (unsigned lanes : {64u, 256u, 512u})
+    expect_wide_matches_oracle(nl, lanes, cycles, {});
+  // Observed-cone schedules (the campaign configuration): dead logic is
+  // eliminated; the surviving stable points must still match the oracle.
+  const netlist::StableSupport supports(nl);
+  std::vector<SignalId> observed(supports.stable_points().begin(),
+                                 supports.stable_points().end());
+  ASSERT_FALSE(observed.empty());
+  for (unsigned lanes : {64u, 256u, 512u})
+    expect_wide_matches_oracle(nl, lanes, cycles, observed);
+}
+
+TEST(Kernel, KroneckerFullFreshMatchesOracleAtAllWidths) {
+  expect_all_widths_match(kronecker_netlist(RandomnessPlan::kron1_full_fresh()),
+                          20);
+}
+
+TEST(Kernel, KroneckerEq6MatchesOracleAtAllWidths) {
+  expect_all_widths_match(
+      kronecker_netlist(RandomnessPlan::kron1_demeyer_eq6()), 20);
+}
+
+TEST(Kernel, KroneckerEq9MatchesOracleAtAllWidths) {
+  expect_all_widths_match(
+      kronecker_netlist(RandomnessPlan::kron1_proposed_eq9()), 20);
+}
+
+TEST(Kernel, MaskedSboxMatchesOracleAtAllWidths) {
+  expect_all_widths_match(sbox_netlist(), 20);
+}
+
+TEST(Kernel, MaskedAesSliceMatchesOracleAtAllWidths) {
+  // The stitched MaskedAes128 combinational slice — the largest netlist the
+  // linter and campaigns run on (state registers cut to held inputs).
+  Netlist nl;
+  (void)gadgets::build_masked_aes128(nl, {});
+  const netlist::Slice slice = netlist::extract_slice(nl);
+  ASSERT_FALSE(slice.cuts.empty());
+  expect_all_widths_match(slice.nl, 20);
+}
+
+// --- campaign-level bit-identity --------------------------------------------
+
+eval::CampaignOptions campaign_options(std::size_t sims) {
+  eval::CampaignOptions opts;
+  opts.model = eval::ProbeModel::kGlitch;
+  opts.simulations = sims;
+  opts.fixed_values[0] = 0x00;
+  opts.seed = 11;
+  return opts;
+}
+
+void expect_identical(const eval::CampaignResult& a,
+                      const eval::CampaignResult& b, const std::string& tag) {
+  EXPECT_EQ(a.pass, b.pass) << tag;
+  EXPECT_EQ(a.leaking_sets, b.leaking_sets) << tag;
+  EXPECT_EQ(a.max_minus_log10_p, b.max_minus_log10_p) << tag;
+  ASSERT_EQ(a.results.size(), b.results.size()) << tag;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].name, b.results[i].name) << tag;
+    EXPECT_EQ(a.results[i].g.g, b.results[i].g.g) << tag;
+    EXPECT_EQ(a.results[i].minus_log10_p, b.results[i].minus_log10_p) << tag;
+    EXPECT_EQ(a.results[i].g.n_fixed, b.results[i].g.n_fixed) << tag;
+    EXPECT_EQ(a.results[i].g.n_random, b.results[i].g.n_random) << tag;
+  }
+}
+
+TEST(KernelCampaign, BitIdenticalAcrossKernelLanesAndThreads) {
+  // The tentpole contract: the counter PRG addresses randomness by absolute
+  // simulation coordinates and the chunk grid ignores width and thread
+  // count, so the interpreted 64-lane oracle and the compiled kernel at
+  // every lane width and thread count produce bit-identical statistics.
+  const Netlist nl = kronecker_netlist(RandomnessPlan::kron1_demeyer_eq6());
+  eval::CampaignOptions base_opts = campaign_options(12000);
+  base_opts.interpreted_kernel = true;
+  base_opts.threads = 1;
+  const eval::CampaignResult base = eval::run_fixed_vs_random(nl, base_opts);
+  EXPECT_EQ(base.lanes_used, 64u);
+
+  for (unsigned lanes : {64u, 256u, 512u}) {
+    for (unsigned threads : {1u, 2u, 8u}) {
+      eval::CampaignOptions opts = campaign_options(12000);
+      opts.lanes = lanes;
+      opts.threads = threads;
+      const eval::CampaignResult r = eval::run_fixed_vs_random(nl, opts);
+      EXPECT_EQ(r.lanes_used, lanes);
+      expect_identical(base, r,
+                       std::to_string(lanes) + " lanes / " +
+                           std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST(KernelCampaign, ResumeAcrossLaneWidthsAndKernels) {
+  // Lane width and kernel choice are excluded from the snapshot fingerprint
+  // on purpose: a campaign interrupted at 512 compiled lanes must resume on
+  // the 64-lane interpreted oracle (or anything between) and still match
+  // the uninterrupted run bit for bit.
+  const Netlist nl = kronecker_netlist(RandomnessPlan::kron1_demeyer_eq6());
+  eval::CampaignOptions whole_opts = campaign_options(12000);
+  whole_opts.interpreted_kernel = true;
+  whole_opts.stages = 3;
+  const eval::CampaignResult whole = eval::run_fixed_vs_random(nl, whole_opts);
+
+  const std::string path = testing::TempDir() + "sca_ckpt_kernel_lanes.bin";
+  std::remove(path.c_str());
+  eval::CampaignOptions partial_opts = campaign_options(12000);
+  partial_opts.lanes = 512;
+  partial_opts.stages = 3;
+  partial_opts.threads = 2;
+  partial_opts.checkpoint_path = path;
+  partial_opts.stop_after_stage = 1;
+  const eval::CampaignResult partial =
+      eval::run_fixed_vs_random(nl, partial_opts);
+  EXPECT_TRUE(partial.interrupted);
+
+  eval::CampaignOptions resume_opts = campaign_options(12000);
+  resume_opts.interpreted_kernel = true;
+  resume_opts.stages = 3;
+  resume_opts.checkpoint_path = path;
+  resume_opts.resume = true;
+  const eval::CampaignResult resumed =
+      eval::run_fixed_vs_random(nl, resume_opts);
+  EXPECT_TRUE(resumed.resumed);
+  EXPECT_FALSE(resumed.interrupted);
+  expect_identical(whole, resumed, "resume 512-compiled -> 64-interpreted");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sca
