@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
   if (result.resumed) score.note("resumed", true);
   if (result.early_stopped) score.note("early_stopped", true);
   score.note("threads", result.threads_used);
+  score.note("aliased_probe_sets", result.aliased_probe_sets);
+  score.note("hosted_sets", result.hosted_sets);
   score.expect("Sbox w/ Kronecker + Eq.(6), fixed 0x00, glitch model",
                /*expected_pass=*/false, result);
 

@@ -224,6 +224,15 @@ struct PerfPoint {
   double simulate_seconds = 0.0;
   double accumulate_seconds = 0.0;
   double merge_seconds = 0.0;
+  // Accumulation sub-phases of the fused pipeline (subset of
+  // accumulate_seconds): block gathering, 64x64 transposes, and
+  // histogram/table updates.
+  double extract_seconds = 0.0;
+  double transpose_seconds = 0.0;
+  double histogram_seconds = 0.0;
+  // Compiled-plan structure counters (see CampaignResult).
+  std::size_t aliased_probe_sets = 0;
+  std::size_t hosted_sets = 0;
   // Wall seconds per evaluation stage (only populated when SCA_STAGES > 1
   // splits the campaign; an unstaged run leaves this empty).
   std::vector<double> stage_seconds;
@@ -265,7 +274,57 @@ PerfPoint run_e2_point(const netlist::Netlist& nl,
   point.simulate_seconds = result.simulate_seconds;
   point.accumulate_seconds = result.accumulate_seconds;
   point.merge_seconds = result.merge_seconds;
+  point.extract_seconds = result.extract_seconds;
+  point.transpose_seconds = result.transpose_seconds;
+  point.histogram_seconds = result.histogram_seconds;
+  point.aliased_probe_sets = result.aliased_probe_sets;
+  point.hosted_sets = result.hosted_sets;
   return point;
+}
+
+// How the fused pipeline scales with the probe-set count: the same E2
+// workload capped at 1/8/64/512 probe sets, single-threaded. The compiled
+// plan's hosting and cross-set sharing make throughput degrade far slower
+// than linearly in the set count; this sweep records the curve.
+struct SweepPoint {
+  std::size_t max_sets = 0;
+  std::size_t total_sets = 0;
+  std::size_t hosted_sets = 0;
+  double seconds = 0.0;
+  double sims_per_sec = 0.0;
+};
+
+std::vector<SweepPoint> run_probe_set_sweep(const netlist::Netlist& nl,
+                                            const gadgets::MaskedSbox& sbox,
+                                            std::size_t sims) {
+  std::vector<SweepPoint> sweep;
+  std::printf("\n  probe-set scaling (1 thread):  sets  hosted   seconds"
+              "     sims/sec\n");
+  for (std::size_t cap : {std::size_t{1}, std::size_t{8}, std::size_t{64},
+                          std::size_t{512}}) {
+    eval::CampaignOptions options;
+    options.model = eval::ProbeModel::kGlitch;
+    options.simulations = sims;
+    options.fixed_values[0] = 0x00;
+    options.nonzero_random_buses = {sbox.rand_b2m};
+    options.threads = 1;
+    options.max_probe_sets = cap;
+    const auto start = std::chrono::steady_clock::now();
+    const eval::CampaignResult result = eval::run_fixed_vs_random(nl, options);
+    SweepPoint p;
+    p.max_sets = cap;
+    p.total_sets = result.total_sets;
+    p.hosted_sets = result.hosted_sets;
+    p.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    p.sims_per_sec =
+        2.0 * static_cast<double>(result.simulations_per_group) / p.seconds;
+    std::printf("  %28zu  %6zu  %8.2f  %11.0f\n", p.total_sets, p.hosted_sets,
+                p.seconds, p.sims_per_sec);
+    sweep.push_back(p);
+  }
+  return sweep;
 }
 
 // The scaling trajectory: the E2 campaign at 1..8 threads, cross-checked
@@ -332,6 +391,8 @@ int run_perf_trajectory() {
   std::printf("\n  statistics bit-identical across thread counts: %s\n",
               deterministic ? "yes" : "NO — BUG");
 
+  const std::vector<SweepPoint> sweep = run_probe_set_sweep(nl, sbox, sims);
+
   // Best non-oversubscribed point: rows beyond the usable core count are
   // recorded for inspection but never drive the headline numbers.
   const PerfPoint* best_p = &points.front();
@@ -367,8 +428,25 @@ int run_perf_trajectory() {
          << ", \"speedup\": " << p.speedup
          << ", \"simulate_seconds\": " << p.simulate_seconds
          << ", \"accumulate_seconds\": " << p.accumulate_seconds
-         << ", \"merge_seconds\": " << p.merge_seconds << "}"
+         << ", \"merge_seconds\": " << p.merge_seconds
+         << ", \"extract_seconds\": " << p.extract_seconds
+         << ", \"transpose_seconds\": " << p.transpose_seconds
+         << ", \"histogram_seconds\": " << p.histogram_seconds << "}"
          << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"aliased_probe_sets\": " << points.front().aliased_probe_sets
+       << ",\n";
+  json << "  \"hosted_sets\": " << points.front().hosted_sets << ",\n";
+  json << "  \"probe_set_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    json << "    {\"max_sets\": " << p.max_sets
+         << ", \"sets\": " << p.total_sets
+         << ", \"hosted_sets\": " << p.hosted_sets
+         << ", \"seconds\": " << p.seconds
+         << ", \"sims_per_sec\": " << p.sims_per_sec << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   json << "  ],\n";
   json << "  \"single_thread_sims_per_sec\": " << points.front().sims_per_sec
@@ -399,6 +477,11 @@ int run_perf_trajectory() {
   line.add("simulate_seconds", points.front().simulate_seconds);
   line.add("accumulate_seconds", points.front().accumulate_seconds);
   line.add("merge_seconds", points.front().merge_seconds);
+  line.add("extract_seconds", points.front().extract_seconds);
+  line.add("transpose_seconds", points.front().transpose_seconds);
+  line.add("histogram_seconds", points.front().histogram_seconds);
+  line.add("aliased_probe_sets", points.front().aliased_probe_sets);
+  line.add("hosted_sets", points.front().hosted_sets);
   // Stage-timing fields (SCA_STAGES > 1): how evenly the staged engine
   // spreads the budget, trackable across commits like the phase timings.
   const std::vector<double>& stage_secs = points.front().stage_seconds;

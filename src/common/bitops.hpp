@@ -14,6 +14,10 @@
 #include "src/common/check.hpp"
 #include "src/common/simd.hpp"
 
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
 namespace sca::common {
 
 /// Number of set bits in `v`.
@@ -45,6 +49,23 @@ inline unsigned ctz64(std::uint64_t v) {
 /// Ceiling division for unsigned types.
 inline std::size_t ceil_div(std::size_t a, std::size_t b) {
   return (a + b - 1) / b;
+}
+
+/// Parallel bit extract: gathers the bits of `v` selected by `mask` into
+/// the low bits of the result, preserving their order (BMI2 pext, with a
+/// portable loop fallback). The order-preserving contract is what lets the
+/// accumulation planner express "this probe set's key inside its host's
+/// key" and "these transposed block bits of a packed key" as a single mask.
+inline std::uint64_t extract_bits64(std::uint64_t v, std::uint64_t mask) {
+#if defined(__BMI2__)
+  return _pext_u64(v, mask);
+#else
+  std::uint64_t out = 0;
+  unsigned bit = 0;
+  for (std::uint64_t m = mask; m != 0; m &= m - 1)
+    out |= ((v >> ctz64(m)) & 1u) << bit++;
+  return out;
+#endif
 }
 
 /// Carry-save adder: one full-adder layer over three 64-lane words. After

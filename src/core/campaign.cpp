@@ -21,6 +21,7 @@
 #include "src/common/serialize.hpp"
 #include "src/common/simd.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/core/accplan.hpp"
 #include "src/core/checkpoint.hpp"
 #include "src/sim/simulator.hpp"
 
@@ -87,14 +88,16 @@ struct PreparedSet {
   std::size_t observation_bits = 0;
   bool compacted = false;
   bool direct_table = false;  // exact keys small enough to direct-index
+  std::vector<std::string> aliases;  // folded probes / probe sets
   stats::FlatCountTable table;                     // G-test mode
   std::array<stats::MomentAccumulator, 2> moments;  // t-test mode
 };
 
-// One buffered sample: the stable-point values at the sample cycle and, for
-// transition models, the cycle before. Point-major limb layout: the limbs()
-// lane words of stable point i sit at [i * limbs, (i + 1) * limbs), so an
-// observation word loads as one SimdWord. `active` is the number of limbs
+// One buffered sample: the observation-matrix row values at the sample cycle
+// and, for transition models, the cycle before. Row-major limb layout over
+// the batch plan's rows (the union of the live sets' observed points): the
+// limbs() lane words of matrix row r sit at [r * limbs, (r + 1) * limbs), so
+// an observation word loads as one SimdWord. `active` is the number of limbs
 // carrying real runs (the last wide run of a chunk may be a tail; inactive
 // limbs hold don't-care values and are never accumulated).
 struct Sample {
@@ -118,11 +121,13 @@ struct ObservationHash {
   }
 };
 
-// Accumulators of one work chunk for the probe sets of one batch; merged
-// into the master accumulators in chunk order. G-test sets use flat count
-// tables (direct-indexed or open-addressed — no per-observation node
-// allocation); t-test sets accumulate an integer Hamming-weight histogram
-// per group, folded into the master moment accumulators as weighted adds.
+// Accumulators of one work cell (chunk x probe-set shard) for the probe sets
+// of one batch; merged into the master accumulators in cell order. G-test
+// sets use flat count tables (direct-indexed or open-addressed — no
+// per-observation node allocation); t-test sets accumulate an integer
+// Hamming-weight histogram per group, folded into the master moment
+// accumulators as weighted adds. Entries for sets owned by other shards (or
+// hosted sets) stay empty, and merging an empty table is a no-op.
 struct ChunkAccumulators {
   std::vector<stats::FlatCountTable> tables;
   std::vector<std::array<std::vector<std::uint64_t>, 2>> hw_hist;
@@ -132,16 +137,20 @@ struct ChunkAccumulators {
 // reusable snapshot buffers, bit-sliced accumulation scratch, per-phase
 // timers — and the worker-lifetime direct-indexed tables. Direct tables
 // materialize their whole key space, so merging them is a commutative
-// integer array add: a worker accumulates them across every chunk it runs
+// integer array add: a worker accumulates them across every cell it runs
 // and folds into the master exactly once (the thread pool's finalize hook),
-// skipping the chunk-ordered reduction without costing determinism.
+// skipping the cell-ordered reduction without costing determinism.
 struct WorkerCtx {
   explicit WorkerCtx(const sim::Schedule& schedule) : simulator(schedule) {}
   sim::Simulator simulator;
   std::vector<std::uint64_t> prev_snapshot;
   std::vector<stats::FlatCountTable> direct_tables;
+  std::vector<std::uint64_t> block_scratch;  // packed-regime staging tiles
   double simulate_seconds = 0.0;
   double accumulate_seconds = 0.0;
+  double extract_seconds = 0.0;
+  double transpose_seconds = 0.0;
+  double histogram_seconds = 0.0;
 };
 
 // Exact probe sets at or below this observation width use the
@@ -180,6 +189,15 @@ void report_acc_debug() {
                n.ttest.load() * 1e-9, n.scalar.load() * 1e-9,
                n.compacted.load() * 1e-9, n.narrow.load() * 1e-9,
                n.packed.load() * 1e-9);
+}
+
+void debug_charge(std::atomic<std::uint64_t>& bucket,
+                  std::chrono::steady_clock::time_point start,
+                  std::chrono::steady_clock::time_point end) {
+  if (acc_debug_enabled())
+    bucket += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count());
 }
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -246,7 +264,9 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
 
   // Enumerate probe sets and dedupe by union observation: a pair whose union
   // equals another set's union (including any single probe) is statistically
-  // identical, so only the first instance is evaluated.
+  // identical, so only the first instance is evaluated — later hits ride
+  // along as aliases of the canonical set (the verdict fan-out), and probes
+  // folded at universe build seed the order-1 sets' alias lists.
   const bool transitions = options.model == ProbeModel::kGlitchTransition;
   std::vector<PreparedSet> prepared;
   std::size_t dropped = 0;
@@ -263,7 +283,15 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
       std::sort(observed.begin(), observed.end());
       observed.erase(std::unique(observed.begin(), observed.end()),
                      observed.end());
-      if (seen.contains(observed)) continue;
+      if (auto it = seen.find(observed); it != seen.end()) {
+        std::string alias;
+        for (std::size_t pi : set) {
+          if (!alias.empty()) alias += " & ";
+          alias += universe[pi].name;
+        }
+        prepared[it->second].aliases.push_back(std::move(alias));
+        continue;
+      }
       if (options.max_probe_sets && prepared.size() >= options.max_probe_sets) {
         ++dropped;
         continue;
@@ -278,6 +306,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
         p.name += universe[pi].name;
         p.representatives.push_back(universe[pi].representative);
       }
+      if (set.size() == 1) p.aliases = universe[set[0]].aliases;
       p.dense.reserve(obs.size());
       for (SignalId sig : obs) p.dense.push_back(dense_index.at(sig));
       p.observation_bits = obs.size() * (transitions ? 2 : 1);
@@ -290,6 +319,8 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
       prepared.push_back(std::move(p));
     }
   }
+  std::size_t aliased_probe_sets = 0;
+  for (const PreparedSet& p : prepared) aliased_probe_sets += p.aliases.size();
 
   if (std::getenv("SCA_DEBUG_SETS")) {
     std::map<std::size_t, std::size_t> exact_hist, compact_hist;
@@ -472,115 +503,136 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
     }
   };
 
-  auto snapshot_stable = [&](const sim::Simulator& simulator,
-                             std::vector<std::uint64_t>& into) {
-    into.resize(stable_points.size() * limbs);
+  // Samples snapshot exactly the batch plan's observation-matrix rows —
+  // the union of the live sets' observed points — not the full stable set.
+  auto snapshot_rows = [&](const sim::Simulator& simulator,
+                           const std::vector<SignalId>& row_signals,
+                           std::vector<std::uint64_t>& into) {
+    into.resize(row_signals.size() * limbs);
     std::uint64_t* out = into.data();
-    for (std::size_t i = 0; i < stable_points.size(); ++i)
-      std::memcpy(out + i * limbs, simulator.value_limbs(stable_points[i]),
+    for (std::size_t i = 0; i < row_signals.size(); ++i)
+      std::memcpy(out + i * limbs, simulator.value_limbs(row_signals[i]),
                   limbs * sizeof(std::uint64_t));
   };
 
-  // Accumulates a buffer of samples into chunk-local tables for the probe
-  // sets [set_begin, set_end). Set-major for cache locality; templated on
-  // the limb count so every inner loop works on whole SIMD words.
+  // Executes one shard of the batch's compiled accumulation plan over a
+  // buffer of samples. Regime-homogeneous phases replace the old per-set
+  // dispatch:
+  //
+  //  * t-test: per-lane Hamming weights from a vertical counter (bit-sliced)
+  //    or the per-bit scalar reference.
+  //  * scalar oracle: the per-bit reference loop over every set, untouched
+  //    by plan structure (the plan compiles with fuse = false, so no set is
+  //    hosted and no work is shared — the oracle stays an oracle).
+  //  * narrow (trie): one straight-line conjunction program per shard whose
+  //    expansion ops are shared across sets with a common observation
+  //    prefix; emits popcount a whole 2^bits histogram per limb word.
+  //  * compacted: Hamming-weight pairs histogrammed in plane space.
+  //  * packed: shared transpose blocks staged per sample tile — gather the
+  //    blocks' matrix rows (extract), transpose each 64x64 block once
+  //    (transpose), then every packed set pext-gathers its key bits from
+  //    the transposed columns (histogram). One transpose serves every set
+  //    touching the block.
   //
   // The bit-sliced path never leaves lane-word space until the final
-  // histogram update: per-lane Hamming weights come from a carry-save
-  // vertical counter over SIMD words (O(k) word ops for k observation
-  // words), exact keys from one 64x64 bit-matrix transpose per limb per
-  // sample (64 keys at once), and counts land in flat direct-indexed /
-  // open-addressed tables. Inactive tail limbs are never read: vertical
-  // counters and transposes extract limbs [0, active) only, and the
-  // conjunction popcounts stop at `active`. The scalar path is the per-bit
-  // reference; both feed identical integer counts into identical downstream
-  // operations, so their statistics are bit-identical (asserted by tests).
+  // histogram update, and inactive tail limbs are never read. Both paths
+  // feed identical integer counts into identical downstream operations, so
+  // their statistics are bit-identical (asserted by tests): direct tables
+  // are order-free integer arrays, and hashed chunk tables are unlimited
+  // (pooling only happens at the sorted master merge).
   const bool bitsliced = options.accumulation == Accumulation::kBitSliced;
   auto accumulate_impl = [&]<unsigned kLimbs>(
+                             const accplan::AccumulationPlan& plan,
                              const std::vector<Sample>& buf,
-                             std::size_t set_begin, std::size_t set_end,
-                             ChunkAccumulators& acc,
-                             std::vector<stats::FlatCountTable>& direct_tables) {
+                             std::size_t shard_idx, ChunkAccumulators& acc,
+                             std::vector<stats::FlatCountTable>& direct_tables,
+                             WorkerCtx& ctx) {
     using Word = common::SimdWord<kLimbs>;
-    common::WideVerticalCounter<kLimbs> vc_now, vc_prev;
-    std::array<std::uint16_t, 64> hw_now{};
-    std::array<std::uint64_t, 64> keys{};
-    std::vector<Word> hw_combos;  // compacted-path conjunction scratch
-    const auto obs_word = [](const std::vector<std::uint64_t>& vals,
-                             std::size_t d) {
-      return Word::load(vals.data() + d * kLimbs);
+    const accplan::ShardProgram& prog = plan.shards[shard_idx];
+    const std::size_t num_rows = plan.rows.size();
+    const auto code_word = [&](const Sample& sample, std::uint32_t code) {
+      return code < num_rows
+                 ? Word::load(sample.now.data() +
+                              static_cast<std::size_t>(code) * kLimbs)
+                 : Word::load(sample.prev.data() +
+                              (static_cast<std::size_t>(code) - num_rows) *
+                                  kLimbs);
     };
-    for (std::size_t si = set_begin; si < set_end; ++si) {
-      const PreparedSet& set = prepared[si];
-      const std::size_t k = set.dense.size();
-      const auto set_start = acc_debug_enabled()
-                                 ? std::chrono::steady_clock::now()
-                                 : std::chrono::steady_clock::time_point{};
-      const auto charge = [&](std::atomic<std::uint64_t>& bucket) {
-        if (acc_debug_enabled())
-          bucket += static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - set_start)
-                  .count());
-      };
-      if (ttest) {
-        auto& hist = acc.hw_hist[si - set_begin];
+    const auto code_limb = [&](const Sample& sample, std::size_t code,
+                               unsigned b) {
+      return code < num_rows ? sample.now[code * kLimbs + b]
+                             : sample.prev[(code - num_rows) * kLimbs + b];
+    };
+
+    if (ttest) {
+      const auto t0 = std::chrono::steady_clock::now();
+      common::WideVerticalCounter<kLimbs> vc;
+      std::array<std::uint16_t, 64> hw{};
+      for (std::uint32_t l : prog.ttest) {
+        const accplan::SetAccPlan& sp = plan.sets[l];
+        auto& hist = acc.hw_hist[l];
         for (const Sample& sample : buf) {
           auto& h = hist[static_cast<std::size_t>(sample.group)];
           if (bitsliced) {
             // TVLA: per-lane Hamming weight of the (extended) observation,
             // all lanes per vertical-counter pass.
-            vc_now.clear();
-            for (std::size_t d : set.dense) vc_now.add(obs_word(sample.now, d));
+            vc.clear();
+            for (std::uint32_t r : sp.rows) vc.add(code_word(sample, r));
             if (transitions)
-              for (std::size_t d : set.dense)
-                vc_now.add(obs_word(sample.prev, d));
+              for (std::uint32_t r : sp.rows)
+                vc.add(code_word(
+                    sample, r + static_cast<std::uint32_t>(num_rows)));
             for (unsigned b = 0; b < sample.active; ++b) {
-              vc_now.lane_counts(b, hw_now.data());
-              for (unsigned lane = 0; lane < 64; ++lane) ++h[hw_now[lane]];
+              vc.lane_counts(b, hw.data());
+              for (unsigned lane = 0; lane < 64; ++lane) ++h[hw[lane]];
             }
           } else {
             for (unsigned b = 0; b < sample.active; ++b) {
               for (unsigned lane = 0; lane < 64; ++lane) {
-                unsigned hw = 0;
-                for (std::size_t d : set.dense) {
-                  hw += (sample.now[d * kLimbs + b] >> lane) & 1u;
+                unsigned w = 0;
+                for (std::uint32_t r : sp.rows) {
+                  w += (sample.now[r * kLimbs + b] >> lane) & 1u;
                   if (transitions)
-                    hw += (sample.prev[d * kLimbs + b] >> lane) & 1u;
+                    w += (sample.prev[r * kLimbs + b] >> lane) & 1u;
                 }
-                ++h[hw];
+                ++h[w];
               }
             }
           }
         }
-        charge(g_acc_path_nanos.ttest);
-        continue;
       }
-      stats::FlatCountTable& table = set.direct_table
-                                         ? direct_tables[si - set_begin]
-                                         : acc.tables[si - set_begin];
-      if (!bitsliced) {
+      debug_charge(g_acc_path_nanos.ttest, t0, std::chrono::steady_clock::now());
+      return;
+    }
+
+    if (!bitsliced) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t l = 0; l < plan.sets.size(); ++l) {
+        const accplan::SetAccPlan& sp = plan.sets[l];
+        stats::FlatCountTable& table =
+            direct_tables[l].direct_mode() ? direct_tables[l] : acc.tables[l];
+        const bool compacted = sp.regime == accplan::AccRegime::kCompacted;
         for (const Sample& sample : buf) {
           for (unsigned b = 0; b < sample.active; ++b) {
             for (unsigned lane = 0; lane < 64; ++lane) {
               std::uint64_t key;
-              if (set.compacted) {
+              if (compacted) {
                 // Compact mode: per-cycle Hamming weight of the observation.
                 unsigned hn = 0, hp = 0;
-                for (std::size_t d : set.dense) {
-                  hn += (sample.now[d * kLimbs + b] >> lane) & 1u;
+                for (std::uint32_t r : sp.rows) {
+                  hn += (sample.now[r * kLimbs + b] >> lane) & 1u;
                   if (transitions)
-                    hp += (sample.prev[d * kLimbs + b] >> lane) & 1u;
+                    hp += (sample.prev[r * kLimbs + b] >> lane) & 1u;
                 }
                 key = hn * 257u + hp;
               } else {
                 std::uint64_t obs = 0;
                 std::size_t bit = 0;
-                for (std::size_t d : set.dense)
-                  obs |= ((sample.now[d * kLimbs + b] >> lane) & 1u) << bit++;
+                for (std::uint32_t r : sp.rows)
+                  obs |= ((sample.now[r * kLimbs + b] >> lane) & 1u) << bit++;
                 if (transitions)
-                  for (std::size_t d : set.dense)
-                    obs |= ((sample.prev[d * kLimbs + b] >> lane) & 1u)
+                  for (std::uint32_t r : sp.rows)
+                    obs |= ((sample.prev[r * kLimbs + b] >> lane) & 1u)
                            << bit++;
                 key = obs;
               }
@@ -588,27 +640,87 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
             }
           }
         }
-        charge(g_acc_path_nanos.scalar);
-        continue;
       }
-      if (set.compacted) {
-        // Hamming-weight pairs histogrammed in plane space: the vertical
-        // counter's bit-planes are the binary digits of the per-lane
-        // counts, so conjunction-expanding pn (+ pp) planes yields one
-        // lane-mask per (hn, hp) value and a popcount replaces 64 table
-        // updates. The add() insertion order differs from the per-lane
-        // reference, but chunk tables are unlimited (no pooling before
-        // the sorted master merge), so the accumulated counts match
-        // bin for bin.
+      debug_charge(g_acc_path_nanos.scalar, t0,
+                   std::chrono::steady_clock::now());
+      return;
+    }
+
+    if (!prog.trie.empty()) {
+      // Narrow exact sets (the bulk of a first-order campaign): the whole
+      // 2^bits histogram of a sample comes from conjunction popcounts —
+      // level[key] has lane L set iff lane L observed `key` — with no
+      // transpose and no per-lane work at all. The trie program shares
+      // expansion ops across every set with a common observation prefix;
+      // sibling subtrees reuse a level in place after it is consumed.
+      // Level d of the combo stack lives at offset 2^d - 1 (depth is
+      // capped at kPopcountBits, so the stack is 2^(kPopcountBits+1)-1
+      // words). Direct tables guaranteed (kPopcountBits < kMaxDirectBits),
+      // so add order is irrelevant to the stored integer counts.
+      const auto t0 = std::chrono::steady_clock::now();
+      std::array<Word, (std::size_t{2} << kPopcountBits) - 1> levels;
+      for (const Sample& sample : buf) {
+        levels[0] = Word::ones();
+        const bool full = sample.active == kLimbs;
+        for (const accplan::TrieOp& op : prog.trie) {
+          if (!op.emit) {
+            const Word w = code_word(sample, op.arg);
+            const std::size_t cnt = std::size_t{1} << op.depth;
+            Word* const src = levels.data() + (cnt - 1);
+            Word* const dst = levels.data() + (2 * cnt - 1);
+            for (std::size_t c = 0; c < cnt; ++c) {
+              const Word m = src[c];
+              dst[c] = m & ~w;
+              dst[cnt + c] = m & w;
+            }
+          } else {
+            std::uint64_t* const counts =
+                direct_tables[op.arg].direct_data() +
+                static_cast<std::size_t>(sample.group);
+            const std::size_t cnt = std::size_t{1} << op.depth;
+            const Word* const lvl = levels.data() + (cnt - 1);
+            if (full) {
+              for (std::size_t key = 0; key < cnt; ++key)
+                counts[2 * key] +=
+                    static_cast<std::uint64_t>(lvl[key].popcount());
+            } else {
+              for (std::size_t key = 0; key < cnt; ++key)
+                counts[2 * key] += static_cast<std::uint64_t>(
+                    lvl[key].popcount(sample.active));
+            }
+          }
+        }
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      ctx.histogram_seconds += std::chrono::duration<double>(t1 - t0).count();
+      debug_charge(g_acc_path_nanos.narrow, t0, t1);
+    }
+
+    if (!prog.compacted.empty()) {
+      // Hamming-weight pairs histogrammed in plane space: the vertical
+      // counter's bit-planes are the binary digits of the per-lane
+      // counts, so conjunction-expanding pn (+ pp) planes yields one
+      // lane-mask per (hn, hp) value and a popcount replaces 64 table
+      // updates. The add() insertion order differs from the per-lane
+      // reference, but chunk tables are unlimited (no pooling before
+      // the sorted master merge), so the accumulated counts match
+      // bin for bin.
+      const auto t0 = std::chrono::steady_clock::now();
+      common::WideVerticalCounter<kLimbs> vc_now, vc_prev;
+      std::vector<Word> hw_combos;
+      for (std::uint32_t l : prog.compacted) {
+        const accplan::SetAccPlan& sp = plan.sets[l];
+        stats::FlatCountTable& table = acc.tables[l];
         for (const Sample& sample : buf) {
           vc_now.clear();
-          for (std::size_t d : set.dense) vc_now.add(obs_word(sample.now, d));
+          for (std::uint32_t r : sp.rows) vc_now.add(code_word(sample, r));
           const unsigned pn = vc_now.planes_in_use();
           unsigned pp = 0;
           if (transitions) {
             vc_prev.clear();
-            for (std::size_t d : set.dense)
-              vc_prev.add(obs_word(sample.prev, d));
+            for (std::uint32_t r : sp.rows)
+              vc_prev.add(
+                  code_word(sample, r + static_cast<std::uint32_t>(num_rows)));
             pp = vc_prev.planes_in_use();
           }
           const std::size_t n_hw = std::size_t{1} << (pn + pp);
@@ -644,118 +756,112 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
             table.add(hn * 257u + hp, sample.group, cnt);
           }
         }
-        charge(g_acc_path_nanos.compacted);
-        continue;
       }
-      if (set.observation_bits <= kPopcountBits) {
-        // Narrow exact sets (the bulk of a first-order campaign): the whole
-        // 2^bits histogram of a sample comes from conjunction popcounts —
-        // combos[key] has lane L set iff lane L observed `key` — with no
-        // transpose and no per-lane work at all. The expansion is pure SIMD
-        // word logic; only the final per-key popcount touches limbs, and it
-        // stops at the active limb. Direct tables guaranteed
-        // (kPopcountBits < kMaxDirectBits), so add() order is irrelevant to
-        // the stored integer counts.
-        std::array<Word, std::size_t{1} << kPopcountBits> combos;
-        std::uint64_t* const counts = table.direct_data();
-        for (const Sample& sample : buf) {
-          combos[0] = Word::ones();
-          std::size_t n = 1;
-          for (std::size_t i = 0; i < k; ++i) {
-            const Word w = obs_word(sample.now, set.dense[i]);
-            for (std::size_t c = 0; c < n; ++c) {
-              const Word m = combos[c];
-              combos[c + n] = m & w;
-              combos[c] = m & ~w;
+      const auto t1 = std::chrono::steady_clock::now();
+      ctx.histogram_seconds += std::chrono::duration<double>(t1 - t0).count();
+      debug_charge(g_acc_path_nanos.compacted, t0, t1);
+    }
+
+    if (!prog.packed.empty()) {
+      // Wider exact sets: the shard's transpose blocks are gathered and
+      // transposed once per (sample, limb) and shared by every packed set
+      // touching them; each set then pext-gathers its key bits from the
+      // transposed columns (block word `lane` holds bit i = block-row i's
+      // lane-L value, and masks select rows in ascending key-bit order).
+      // Samples are staged in tiles so the block scratch stays in cache,
+      // and each sub-pass (gather / transpose / key extraction) runs as a
+      // separately-timed bulk loop over the tile. The key multiset per
+      // (sample, limb) equals the 64-lane reference's, just in a different
+      // insertion order — order-free for direct tables, and unlimited
+      // chunk tables pool only at the sorted master merge, so the counts
+      // stay bit-identical.
+      const auto packed_start = std::chrono::steady_clock::now();
+      const std::size_t nblocks = prog.blocks.size();
+      const std::size_t words_per_sample = nblocks * 64 * kLimbs;
+      const std::size_t tile_samples = std::max<std::size_t>(
+          1, (std::size_t{256} << 10) / (words_per_sample * 8));
+      if (ctx.block_scratch.size() < tile_samples * words_per_sample)
+        ctx.block_scratch.resize(tile_samples * words_per_sample);
+      std::uint64_t* const scratch = ctx.block_scratch.data();
+      for (std::size_t s0 = 0; s0 < buf.size(); s0 += tile_samples) {
+        const std::size_t sn = std::min(tile_samples, buf.size() - s0);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t s = 0; s < sn; ++s) {
+          const Sample& sample = buf[s0 + s];
+          for (unsigned b = 0; b < sample.active; ++b) {
+            std::uint64_t* dst =
+                scratch + (s * kLimbs + b) * nblocks * 64;
+            for (std::size_t blk = 0; blk < nblocks; ++blk, dst += 64) {
+              const std::vector<std::uint32_t>& rows = prog.blocks[blk];
+              for (std::size_t i = 0; i < rows.size(); ++i)
+                dst[i] = code_limb(sample, rows[i], b);
+              std::fill(dst + rows.size(), dst + 64, std::uint64_t{0});
             }
-            n <<= 1;
-          }
-          if (transitions) {
-            for (std::size_t i = 0; i < k; ++i) {
-              const Word w = obs_word(sample.prev, set.dense[i]);
-              for (std::size_t c = 0; c < n; ++c) {
-                const Word m = combos[c];
-                combos[c + n] = m & w;
-                combos[c] = m & ~w;
-              }
-              n <<= 1;
-            }
-          }
-          std::uint64_t* const group_counts =
-              counts + static_cast<std::size_t>(sample.group);
-          if (sample.active == kLimbs) {
-            for (std::size_t key = 0; key < n; ++key)
-              group_counts[2 * key] +=
-                  static_cast<std::uint64_t>(combos[key].popcount());
-          } else {
-            for (std::size_t key = 0; key < n; ++key)
-              group_counts[2 * key] += static_cast<std::uint64_t>(
-                  combos[key].popcount(sample.active));
           }
         }
-        charge(g_acc_path_nanos.narrow);
-        continue;
-      }
-      // Wider exact sets: gather the observation words as matrix rows and
-      // transpose one 64-lane block per active limb; row L then holds lane
-      // L's key. Up to 64/bits samples of the same group pack into one
-      // transpose (sample s at bit offset s*bits), amortizing its fixed
-      // cost; add_packed() extracts sample-major. Limb blocks replay the
-      // same key multiset as the 64-lane reference, just in a different
-      // insertion order — direct tables are order-free and chunk tables
-      // are unlimited (pooling only happens at the sorted master merge),
-      // so the counts stay bit-identical.
-      {
-        const unsigned pack = static_cast<unsigned>(
-            std::size_t{64} / set.observation_bits);
-        std::size_t idx = 0;
-        while (idx < buf.size()) {
-          const int group = buf[idx].group;
-          const unsigned active = buf[idx].active;
-          const std::size_t idx0 = idx;
-          unsigned packed = 0;
-          while (idx < buf.size() && packed < pack &&
-                 buf[idx].group == group) {
-            ++packed;
-            ++idx;
-          }
+        const auto t1 = std::chrono::steady_clock::now();
+        ctx.extract_seconds += std::chrono::duration<double>(t1 - t0).count();
+        for (std::size_t s = 0; s < sn; ++s) {
+          const unsigned active = buf[s0 + s].active;
           for (unsigned b = 0; b < active; ++b) {
-            for (unsigned s = 0; s < packed; ++s) {
-              const Sample& sample = buf[idx0 + s];
-              std::uint64_t* row = keys.data() + s * set.observation_bits;
-              for (std::size_t i = 0; i < k; ++i)
-                row[i] = sample.now[set.dense[i] * kLimbs + b];
-              if (transitions)
-                for (std::size_t i = 0; i < k; ++i)
-                  row[k + i] = sample.prev[set.dense[i] * kLimbs + b];
-            }
-            std::fill(keys.begin() + packed * set.observation_bits, keys.end(),
-                      0);
-            common::transpose64(keys.data());
-            table.add_packed(keys.data(),
-                             static_cast<unsigned>(set.observation_bits),
-                             packed, group);
+            std::uint64_t* dst = scratch + (s * kLimbs + b) * nblocks * 64;
+            for (std::size_t blk = 0; blk < nblocks; ++blk, dst += 64)
+              common::transpose64(dst);
           }
         }
-        charge(g_acc_path_nanos.packed);
+        const auto t2 = std::chrono::steady_clock::now();
+        ctx.transpose_seconds += std::chrono::duration<double>(t2 - t1).count();
+        for (std::uint32_t l : prog.packed) {
+          const accplan::SetAccPlan& sp = plan.sets[l];
+          stats::FlatCountTable& table = direct_tables[l].direct_mode()
+                                             ? direct_tables[l]
+                                             : acc.tables[l];
+          std::uint64_t* const direct =
+              table.direct_mode() ? table.direct_data() : nullptr;
+          for (std::size_t s = 0; s < sn; ++s) {
+            const Sample& sample = buf[s0 + s];
+            const auto group = static_cast<std::size_t>(sample.group);
+            for (unsigned b = 0; b < sample.active; ++b) {
+              const std::uint64_t* const base =
+                  scratch + (s * kLimbs + b) * nblocks * 64;
+              for (unsigned lane = 0; lane < 64; ++lane) {
+                std::uint64_t key = 0;
+                for (const accplan::PackedGather& g : sp.gathers)
+                  key |= common::extract_bits64(
+                             base[std::size_t{g.block} * 64 + lane], g.mask)
+                         << g.shift;
+                if (direct)
+                  ++direct[2 * key + group];
+                else
+                  table.add(key, static_cast<int>(sample.group));
+              }
+            }
+          }
+        }
+        const auto t3 = std::chrono::steady_clock::now();
+        ctx.histogram_seconds += std::chrono::duration<double>(t3 - t2).count();
       }
+      debug_charge(g_acc_path_nanos.packed, packed_start,
+                   std::chrono::steady_clock::now());
     }
   };
-  auto accumulate = [&](const std::vector<Sample>& buf, std::size_t set_begin,
-                        std::size_t set_end, ChunkAccumulators& acc,
-                        std::vector<stats::FlatCountTable>& direct_tables) {
+  auto accumulate = [&](const accplan::AccumulationPlan& plan,
+                        const std::vector<Sample>& buf, std::size_t shard_idx,
+                        ChunkAccumulators& acc,
+                        std::vector<stats::FlatCountTable>& direct_tables,
+                        WorkerCtx& ctx) {
     switch (limbs) {
       case 1:
-        accumulate_impl.template operator()<1>(buf, set_begin, set_end, acc,
-                                               direct_tables);
+        accumulate_impl.template operator()<1>(plan, buf, shard_idx, acc,
+                                               direct_tables, ctx);
         break;
       case 4:
-        accumulate_impl.template operator()<4>(buf, set_begin, set_end, acc,
-                                               direct_tables);
+        accumulate_impl.template operator()<4>(plan, buf, shard_idx, acc,
+                                               direct_tables, ctx);
         break;
       case 8:
-        accumulate_impl.template operator()<8>(buf, set_begin, set_end, acc,
-                                               direct_tables);
+        accumulate_impl.template operator()<8>(plan, buf, shard_idx, acc,
+                                               direct_tables, ctx);
         break;
       default:
         SCA_ASSERT(false, "campaign: unsupported limb count");
@@ -787,6 +893,19 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   const std::size_t num_chunks =
       common::ceil_div(runs_per_group, runs_per_chunk);
   const std::size_t cycles_per_run = 2 * cycles_per_group;
+
+  // Probe-set shards for the 2-D (chunk x shard) schedule: when the chunk
+  // grid alone cannot feed every thread (tiny campaigns), the live sets
+  // split into shards and each (chunk, shard) cell re-simulates its chunk
+  // while accumulating only its shard's sets. Simulation is cheap next to
+  // accumulation on probe-heavy workloads, and shard membership is part of
+  // the deterministic plan, so the statistics stay bit-identical. The
+  // scalar oracle keeps the classic 1-D schedule.
+  const unsigned shard_target =
+      (bitsliced && threads > 1 && num_chunks < threads)
+          ? static_cast<unsigned>(
+                common::ceil_div(std::size_t{threads}, num_chunks))
+          : 1;
 
   // Stage boundaries over the chunk grid. A stage is a contiguous chunk
   // range; because every chunk draws from its own seeded stream and the
@@ -865,7 +984,12 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   // accumulation regime are deliberately excluded (all are bit-identical
   // by contract, so resuming across them is sound); the batch grid covers
   // the one way threads could matter, since the memory budget splits per
-  // worker.
+  // worker. The accumulation plan (hosting, sharding, CSE structure) is
+  // also excluded by design: it is a pure function of the prepared sets
+  // and the options, snapshots always carry fully materialized per-set
+  // tables, and hosted masters recompute their marginal from scratch after
+  // every stage — so a snapshot written by the fused pipeline resumes
+  // under the scalar one and vice versa (asserted by tests).
   std::uint64_t fingerprint = 0;
   {
     common::Fnv1a fp;
@@ -899,6 +1023,11 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   double simulate_seconds = 0.0;
   double accumulate_seconds = 0.0;
   double merge_seconds = 0.0;
+  // Accumulation sub-phases (not checkpointed — the snapshot format is
+  // unchanged, so resumed campaigns restart these at zero).
+  double extract_seconds = 0.0;
+  double transpose_seconds = 0.0;
+  double histogram_seconds = 0.0;
 
   // Resume: load a matching snapshot, restore the finalized results and the
   // in-progress batch's master accumulators, and continue from its cursor.
@@ -965,48 +1094,61 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
 
   // One simulation pass over the chunks [chunk_begin, chunk_end) — one
   // evaluation stage — accumulating only the probe sets
-  // [set_begin, set_end), sharded over the worker pool. Chunk results merge
-  // into the master tables strictly in chunk order (workers park
-  // out-of-order chunks in `pending`), which keeps the bin-overflow pooling
-  // and the floating-point Welford merges deterministic — and makes the
-  // concatenation of stage passes bit-identical to one full pass.
-  auto simulate_into = [&](std::size_t set_begin, std::size_t set_end,
+  // [set_begin, set_end) under the batch's compiled plan, scheduled over
+  // the worker pool as (chunk x shard) cells. Cell results merge into the
+  // master tables strictly in cell order (workers park out-of-order cells
+  // in `pending`); cells of one chunk are drained consecutively and each
+  // set belongs to exactly one shard, so every set's master merge still
+  // sees ascending chunks — the bin-overflow pooling and the
+  // floating-point Welford merges stay deterministic, and the
+  // concatenation of stage passes stays bit-identical to one full pass.
+  auto simulate_into = [&](const accplan::AccumulationPlan& plan,
+                           const std::vector<SignalId>& row_signals,
+                           std::size_t set_begin, std::size_t set_end,
                            std::size_t chunk_begin, std::size_t chunk_end) {
+    const std::size_t shards = plan.shards.size();
+    const std::size_t local_count = set_end - set_begin;
+    const std::size_t cells = (chunk_end - chunk_begin) * shards;
     std::mutex merge_mutex;
     std::map<std::size_t, ChunkAccumulators> pending;
-    std::size_t next_merge = chunk_begin;
+    std::size_t next_merge = 0;
 
     common::parallel_for_stateful(
-        chunk_end - chunk_begin, threads,
+        cells, threads,
         [&] {
           WorkerCtx ctx(schedule);
           if (!ttest) {
-            // Direct-indexed sets accumulate into worker-lifetime tables
-            // (commutative integer merges need no chunk ordering); only
-            // hashed and compacted sets go through per-chunk tables.
-            ctx.direct_tables.resize(set_end - set_begin);
-            for (std::size_t si = set_begin; si < set_end; ++si)
-              if (prepared[si].direct_table)
-                ctx.direct_tables[si - set_begin].init_direct(
-                    static_cast<unsigned>(prepared[si].observation_bits));
+            // Direct-indexed live sets accumulate into worker-lifetime
+            // tables (commutative integer merges need no cell ordering);
+            // only hashed and compacted sets go through per-cell tables.
+            // Hosted sets get no accumulator at all — their counts are
+            // marginalized from their host after the stage.
+            ctx.direct_tables.resize(local_count);
+            for (std::size_t l = 0; l < local_count; ++l)
+              if (plan.sets[l].regime != accplan::AccRegime::kHosted &&
+                  prepared[set_begin + l].direct_table)
+                ctx.direct_tables[l].init_direct(static_cast<unsigned>(
+                    prepared[set_begin + l].observation_bits));
           }
           return ctx;
         },
-        [&](WorkerCtx& ctx, std::size_t index) {
-          const std::size_t chunk = chunk_begin + index;
+        [&](WorkerCtx& ctx, std::size_t cell) {
+          const std::size_t chunk = chunk_begin + cell / shards;
+          const std::size_t shard = cell % shards;
           const CounterPrg prg(options.seed);
           ChunkAccumulators acc;
           if (ttest) {
-            acc.hw_hist.resize(set_end - set_begin);
-            for (std::size_t si = set_begin; si < set_end; ++si)
-              for (auto& h : acc.hw_hist[si - set_begin])
-                h.assign(prepared[si].observation_bits + 1, 0);
+            acc.hw_hist.resize(local_count);
+            for (std::uint32_t l : plan.shards[shard].ttest)
+              for (auto& h : acc.hw_hist[l])
+                h.assign(prepared[set_begin + l].observation_bits + 1, 0);
           } else {
-            // Chunk tables (the non-direct sets' accumulators) carry no bin
+            // Cell tables (the non-direct sets' accumulators) carry no bin
             // limit, mirroring the unlimited per-chunk maps of the scalar
             // engine: pooling happens only at the deterministic master
-            // merge.
-            acc.tables.resize(set_end - set_begin);
+            // merge. Sets owned by other shards leave empty tables, whose
+            // merge is a no-op.
+            acc.tables.resize(local_count);
           }
 
           const std::size_t run_begin = chunk * runs_per_chunk;
@@ -1031,13 +1173,13 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
               simulator.reset();
               std::size_t cycle_in_group = 0;
               // The previous-cycle snapshot only feeds transition models;
-              // skipping it elsewhere saves a full stable-point copy per
-              // cycle.
+              // skipping it elsewhere saves a full row copy per cycle.
               for (std::size_t c = 0; c < options.warmup_cycles; ++c) {
                 feed_cycle(simulator, prg, run, active, group,
                            cycle_in_group++);
                 simulator.settle();
-                if (transitions) snapshot_stable(simulator, ctx.prev_snapshot);
+                if (transitions)
+                  snapshot_rows(simulator, row_signals, ctx.prev_snapshot);
                 simulator.clock();
               }
               for (std::size_t s = 0; s < samples_per_run; ++s) {
@@ -1049,12 +1191,12 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
                     Sample sample;
                     sample.group = group;
                     sample.active = active;
-                    snapshot_stable(simulator, sample.now);
+                    snapshot_rows(simulator, row_signals, sample.now);
                     if (transitions) sample.prev = ctx.prev_snapshot;
                     buf.push_back(std::move(sample));
                   }
                   if (transitions)
-                    snapshot_stable(simulator, ctx.prev_snapshot);
+                    snapshot_rows(simulator, row_signals, ctx.prev_snapshot);
                   simulator.clock();
                 }
               }
@@ -1062,32 +1204,37 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
             const auto acc_start = std::chrono::steady_clock::now();
             ctx.simulate_seconds +=
                 std::chrono::duration<double>(acc_start - sim_start).count();
-            accumulate(buf, set_begin, set_end, acc, ctx.direct_tables);
+            accumulate(plan, buf, shard, acc, ctx.direct_tables, ctx);
             ctx.accumulate_seconds += seconds_since(acc_start);
           }
 
           std::lock_guard<std::mutex> lock(merge_mutex);
           const auto merge_start = std::chrono::steady_clock::now();
-          pending.emplace(chunk, std::move(acc));
+          pending.emplace(cell, std::move(acc));
           for (auto it = pending.find(next_merge); it != pending.end();
                it = pending.find(next_merge)) {
             const ChunkAccumulators& ready = it->second;
-            for (std::size_t si = set_begin; si < set_end; ++si) {
+            const std::size_t ready_shard = next_merge % shards;
+            for (std::size_t l = 0; l < local_count; ++l) {
+              const accplan::SetAccPlan& sp = plan.sets[l];
+              if (sp.regime == accplan::AccRegime::kHosted ||
+                  sp.shard != ready_shard)
+                continue;
               if (ttest) {
                 // Histogram counts fold into the master Welford state as
                 // weighted adds in ascending-weight order — a fixed
                 // per-chunk FP operation sequence, so the t statistic is
                 // bit-identical for any thread count and identical between
                 // the bit-sliced and scalar paths.
-                const auto& hist = ready.hw_hist[si - set_begin];
+                const auto& hist = ready.hw_hist[l];
                 for (int group = 0; group < 2; ++group) {
-                  auto& m = prepared[si].moments[static_cast<std::size_t>(group)];
                   const auto& h = hist[static_cast<std::size_t>(group)];
-                  for (std::size_t hw = 0; hw < h.size(); ++hw)
-                    if (h[hw]) m.add_weighted(static_cast<double>(hw), h[hw]);
+                  prepared[set_begin + l]
+                      .moments[static_cast<std::size_t>(group)]
+                      .add_weighted_histogram(h.data(), h.size());
                 }
-              } else if (!prepared[si].direct_table) {
-                prepared[si].table.merge(ready.tables[si - set_begin]);
+              } else if (!prepared[set_begin + l].direct_table) {
+                prepared[set_begin + l].table.merge(ready.tables[l]);
               }
             }
             pending.erase(it);
@@ -1103,20 +1250,26 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
           std::lock_guard<std::mutex> lock(merge_mutex);
           simulate_seconds += ctx.simulate_seconds;
           accumulate_seconds += ctx.accumulate_seconds;
+          extract_seconds += ctx.extract_seconds;
+          transpose_seconds += ctx.transpose_seconds;
+          histogram_seconds += ctx.histogram_seconds;
           const auto merge_start = std::chrono::steady_clock::now();
           if (!ttest) {
-            for (std::size_t si = set_begin; si < set_end; ++si)
-              if (prepared[si].direct_table)
-                prepared[si].table.merge(ctx.direct_tables[si - set_begin]);
+            for (std::size_t l = 0; l < local_count; ++l)
+              if (plan.sets[l].regime != accplan::AccRegime::kHosted &&
+                  prepared[set_begin + l].direct_table)
+                prepared[set_begin + l].table.merge(ctx.direct_tables[l]);
           }
           merge_seconds += seconds_since(merge_start);
         });
-    SCA_ASSERT(next_merge == chunk_end && pending.empty(),
-               "campaign: chunk merge did not drain");
+    SCA_ASSERT(next_merge == cells && pending.empty(),
+               "campaign: cell merge did not drain");
     const std::size_t run_begin = chunk_begin * runs_per_chunk;
     const std::size_t run_end =
         std::min(runs_per_group, chunk_end * runs_per_chunk);
-    total_cycles += (run_end - run_begin) * cycles_per_run;
+    // Sharded cells re-simulate their chunk once per shard (counted as
+    // cycles actually spent); the observation count is per unique run.
+    total_cycles += (run_end - run_begin) * cycles_per_run * shards;
     simulations_done += (run_end - run_begin) * observations_per_run;
   };
 
@@ -1176,6 +1329,8 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   std::size_t stages_completed = resume_batch * stages_total + resume_stages;
   unsigned stages_run_here = 0;
   bool interrupted = false;
+  std::size_t hosted_total = 0;
+  std::size_t max_set_shards = 1;
 
   auto emit_stage = [&](std::size_t stage, std::size_t batch, double cur_max,
                         const std::string& worst, std::size_t leaks,
@@ -1206,6 +1361,10 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
     rep.simulate_seconds = simulate_seconds;
     rep.accumulate_seconds = accumulate_seconds;
     rep.merge_seconds = merge_seconds;
+    rep.extract_seconds = extract_seconds;
+    rep.transpose_seconds = transpose_seconds;
+    rep.histogram_seconds = histogram_seconds;
+    rep.aliased_probe_sets = aliased_probe_sets;
     rep.early_stopped = early_stopped;
     if (saved) rep.checkpoint_path = options.checkpoint_path;
     options.on_stage(rep);
@@ -1215,12 +1374,59 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
        b < batch_ranges.size() && !complete && !interrupted && !early_stopped;
        ++b) {
     const auto [set_begin, set_end] = batch_ranges[b];
+
+    // Compile the batch's accumulation plan: regimes, subset hosting,
+    // shared-trie / shared-block CSE, and the shard partition. The plan is
+    // a pure function of the prepared sets and the options, so it needs no
+    // fingerprint coverage and no snapshot state.
+    std::vector<accplan::PlanSetInput> plan_inputs;
+    plan_inputs.reserve(set_end - set_begin);
+    for (std::size_t si = set_begin; si < set_end; ++si)
+      plan_inputs.push_back({&prepared[si].dense,
+                             prepared[si].observation_bits,
+                             prepared[si].compacted,
+                             prepared[si].direct_table});
+    accplan::PlanOptions plan_options;
+    plan_options.transitions = transitions;
+    plan_options.ttest = ttest;
+    plan_options.fuse = bitsliced;
+    plan_options.narrow_bits = kPopcountBits;
+    plan_options.shards = shard_target;
+    const accplan::AccumulationPlan plan =
+        accplan::compile_accumulation_plan(plan_inputs, plan_options);
+    hosted_total += plan.hosted_sets;
+    max_set_shards = std::max(max_set_shards, plan.shards.size());
+    std::vector<SignalId> row_signals;
+    row_signals.reserve(plan.rows.size());
+    for (std::size_t r : plan.rows) row_signals.push_back(stable_points[r]);
+
+    // Hosted sets' master tables are exact integer marginals of their
+    // host's — recomputed from scratch after every stage, so interim
+    // statistics, snapshots, and finalization all see tables
+    // bit-identical to per-set accumulation (and a snapshot resumes under
+    // any plan layout: the marginal only ever derives from the host's
+    // cumulative master).
+    auto materialize_hosted = [&] {
+      if (ttest || plan.finalize_order.empty()) return;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint32_t idx : plan.finalize_order) {
+        const accplan::SetAccPlan& sp = plan.sets[idx];
+        stats::FlatCountTable& dst = prepared[set_begin + idx].table;
+        dst.clear();
+        dst.add_marginalized(prepared[set_begin + sp.host].table,
+                             sp.host_mask);
+      }
+      merge_seconds += seconds_since(t0);
+    };
+
     const std::size_t first_stage = b == resume_batch ? resume_stages : 0;
     std::size_t final_stage = stages_total;
     double last_stage_secs = 0.0;
     for (std::size_t s = first_stage; s < stages_total; ++s) {
       const auto stage_start = std::chrono::steady_clock::now();
-      simulate_into(set_begin, set_end, stage_bounds[s], stage_bounds[s + 1]);
+      simulate_into(plan, row_signals, set_begin, set_end, stage_bounds[s],
+                    stage_bounds[s + 1]);
+      materialize_hosted();
       const double stage_secs = seconds_since(stage_start);
       last_stage_secs = stage_secs;
       ++stages_completed;
@@ -1279,6 +1485,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
       r.representatives = std::move(prepared[i].representatives);
       r.observation_bits = prepared[i].observation_bits;
       r.compacted = prepared[i].compacted;
+      r.aliases = std::move(prepared[i].aliases);
       if (ttest) {
         r.t = stats::welch_t_test(prepared[i].moments[0],
                                   prepared[i].moments[1]);
@@ -1323,6 +1530,12 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
   result.simulate_seconds = simulate_seconds;
   result.accumulate_seconds = accumulate_seconds;
   result.merge_seconds = merge_seconds;
+  result.extract_seconds = extract_seconds;
+  result.transpose_seconds = transpose_seconds;
+  result.histogram_seconds = histogram_seconds;
+  result.aliased_probe_sets = aliased_probe_sets;
+  result.hosted_sets = hosted_total;
+  result.set_shards = max_set_shards;
   result.stages_total = stages_total;
   result.stages_completed = stages_completed;
   result.early_stopped = early_stopped;

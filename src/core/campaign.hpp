@@ -68,6 +68,16 @@ struct StageReport {
   double simulate_seconds = 0.0;
   double accumulate_seconds = 0.0;
   double merge_seconds = 0.0;
+  /// Accumulation sub-phases (subset of accumulate_seconds, bit-sliced
+  /// G-test path only): observation-row gathering, bit-matrix transposes,
+  /// and histogram/table updates.
+  double extract_seconds = 0.0;
+  double transpose_seconds = 0.0;
+  double histogram_seconds = 0.0;
+  /// Probe sets answered by alias fan-out instead of their own
+  /// accumulators (identical observation sets — see
+  /// CampaignResult::aliased_probe_sets).
+  std::size_t aliased_probe_sets = 0;
   bool early_stopped = false;    ///< this stage triggered early stopping
   std::string checkpoint_path;   ///< non-empty if a snapshot was just saved
 };
@@ -206,6 +216,10 @@ struct ProbeSetResult {
   double severity = 0.0;
   double minus_log10_p = 0.0;  ///< == severity for the G-test (convenience)
   bool leaking = false;
+  /// Names of probe positions / probe sets whose observation set is
+  /// identical to this one's — they were never accumulated separately, and
+  /// this verdict applies to each of them verbatim (the dedup fan-out).
+  std::vector<std::string> aliases;
 };
 
 struct CampaignResult {
@@ -233,6 +247,25 @@ struct CampaignResult {
   double simulate_seconds = 0.0;
   double accumulate_seconds = 0.0;
   double merge_seconds = 0.0;
+  /// Accumulation sub-phases of the bit-sliced G-test pipeline (subset of
+  /// accumulate_seconds): gathering observation rows into transpose blocks,
+  /// the 64x64 bit-matrix transposes, and histogram/table updates (trie
+  /// expansion popcounts, packed-key extraction, HW histograms). The scalar
+  /// oracle and the t-test vertical-counter path report zeros here.
+  double extract_seconds = 0.0;
+  double transpose_seconds = 0.0;
+  double histogram_seconds = 0.0;
+  /// Alias names recorded across all probe sets: probe positions folded at
+  /// universe build (identical glitch cones) plus probe sets folded at
+  /// enumeration (identical union observations). Each rode along on a
+  /// canonical set's accumulators instead of being evaluated redundantly.
+  std::size_t aliased_probe_sets = 0;
+  /// Probe sets finalized as exact integer marginals of a hosting superset
+  /// (no per-sample accumulation at all), summed over executed batches.
+  std::size_t hosted_sets = 0;
+  /// Probe-set shards of the 2-D (chunk x shard) schedule (max over
+  /// batches; 1 = classic chunk-only scheduling).
+  std::size_t set_shards = 1;
   ProbeModel model = ProbeModel::kGlitch;
   unsigned order = 1;
   /// Staged-evaluation bookkeeping. stages_completed counts stages finished

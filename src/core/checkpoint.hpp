@@ -10,6 +10,17 @@
 // chunk grid, a resumed campaign replays the identical merge sequence the
 // uninterrupted one would have run, for any thread count.
 //
+// Cross-path contract: the fingerprint deliberately excludes the thread
+// count, accumulation path (fused plan vs scalar oracle), SIMD lane width,
+// and kernel choice — all are bit-identity-irrelevant by construction. The
+// snapshot stores only fully-materialized master accumulators: hosted sets
+// (finalized as integer marginals of a hosting set by the accumulation
+// plan) are materialized at every stage boundary before saving, so a
+// snapshot written by the fused pipeline is byte-indistinguishable from
+// one written by the scalar oracle at the same cursor, and resume works
+// across paths in both directions (tests/checkpoint_test.cpp,
+// Checkpoint.ResumeAcrossAccumulationPaths).
+//
 // On-disk format: an 8-byte magic, a version word, a length-prefixed
 // payload, and an FNV-1a checksum of the payload; writes go through a
 // temp file + rename so a crash mid-save never corrupts a previous good

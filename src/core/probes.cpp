@@ -23,7 +23,11 @@ std::string to_string(ProbeModel model) {
 std::vector<Probe> build_probe_universe(const Netlist& nl,
                                         const netlist::StableSupport& supports,
                                         const std::string& scope_filter) {
-  std::map<std::vector<SignalId>, SignalId> unique;
+  struct Group {
+    SignalId representative = netlist::kNoSignal;
+    std::vector<SignalId> folded;  // same observation, not the representative
+  };
+  std::map<std::vector<SignalId>, Group> unique;
   for (SignalId id = 0; id < nl.size(); ++id) {
     const GateKind k = nl.kind(id);
     if (k == GateKind::kConst0 || k == GateKind::kConst1) continue;
@@ -35,18 +39,29 @@ std::vector<Probe> build_probe_universe(const Netlist& nl,
     for (std::size_t idx : supports.support(id).set_bits())
       observed.push_back(supports.stable_points()[idx]);
     if (observed.empty()) continue;
-    auto [it, inserted] = unique.try_emplace(std::move(observed), id);
-    if (!inserted && !nl.explicit_name(it->second) && nl.explicit_name(id))
-      it->second = id;
+    auto [it, inserted] = unique.try_emplace(std::move(observed), Group{id, {}});
+    if (!inserted) {
+      // Explicitly-named signals make better representatives; the loser
+      // becomes an alias either way.
+      if (!nl.explicit_name(it->second.representative) &&
+          nl.explicit_name(id)) {
+        it->second.folded.push_back(it->second.representative);
+        it->second.representative = id;
+      } else {
+        it->second.folded.push_back(id);
+      }
+    }
   }
 
   std::vector<Probe> universe;
   universe.reserve(unique.size());
-  for (auto& [observed, representative] : unique) {
+  for (auto& [observed, group] : unique) {
     Probe p;
-    p.representative = representative;
-    p.name = nl.signal_name(representative);
+    p.representative = group.representative;
+    p.name = nl.signal_name(group.representative);
     p.observed = observed;
+    p.aliases.reserve(group.folded.size());
+    for (SignalId id : group.folded) p.aliases.push_back(nl.signal_name(id));
     universe.push_back(std::move(p));
   }
   return universe;

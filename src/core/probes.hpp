@@ -28,6 +28,10 @@ struct Probe {
   netlist::SignalId representative = netlist::kNoSignal;
   std::string name;                         ///< representative's name
   std::vector<netlist::SignalId> observed;  ///< stable signals, ascending
+  /// Names of the other probe positions folded into this one because their
+  /// extended observation sets coincide (e.g. every gate of one glitch
+  /// cone). The representative's verdict applies to each of them verbatim.
+  std::vector<std::string> aliases;
 };
 
 /// Builds the deduplicated probe universe over all signals of `nl`.

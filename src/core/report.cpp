@@ -105,6 +105,10 @@ std::string to_json(const StageReport& report) {
      << ",\"simulate_seconds\":" << report.simulate_seconds
      << ",\"accumulate_seconds\":" << report.accumulate_seconds
      << ",\"merge_seconds\":" << report.merge_seconds
+     << ",\"extract_seconds\":" << report.extract_seconds
+     << ",\"transpose_seconds\":" << report.transpose_seconds
+     << ",\"histogram_seconds\":" << report.histogram_seconds
+     << ",\"aliased_probe_sets\":" << report.aliased_probe_sets
      << ",\"early_stopped\":" << (report.early_stopped ? "true" : "false")
      << ",\"checkpoint\":\"" << json_escape(report.checkpoint_path) << "\"}";
   return os.str();
@@ -132,7 +136,13 @@ std::string to_json(const CampaignResult& result, std::size_t top_n) {
      << ",\"table_batches\":" << result.table_batches
      << ",\"simulate_seconds\":" << result.simulate_seconds
      << ",\"accumulate_seconds\":" << result.accumulate_seconds
-     << ",\"merge_seconds\":" << result.merge_seconds << ",\"top\":[";
+     << ",\"merge_seconds\":" << result.merge_seconds
+     << ",\"extract_seconds\":" << result.extract_seconds
+     << ",\"transpose_seconds\":" << result.transpose_seconds
+     << ",\"histogram_seconds\":" << result.histogram_seconds
+     << ",\"aliased_probe_sets\":" << result.aliased_probe_sets
+     << ",\"hosted_sets\":" << result.hosted_sets
+     << ",\"set_shards\":" << result.set_shards << ",\"top\":[";
   bool first = true;
   for (const ProbeSetResult* r : result.top(top_n)) {
     if (!first) os << ",";
@@ -141,7 +151,17 @@ std::string to_json(const CampaignResult& result, std::size_t top_n) {
        << ",\"minus_log10_p\":" << r->minus_log10_p
        << ",\"bits\":" << r->observation_bits
        << ",\"compacted\":" << (r->compacted ? "true" : "false")
-       << ",\"leaking\":" << (r->leaking ? "true" : "false") << "}";
+       << ",\"leaking\":" << (r->leaking ? "true" : "false")
+       << ",\"aliases\":" << r->aliases.size();
+    if (!r->aliases.empty()) {
+      // Names capped to keep the report bounded; the count above is exact.
+      os << ",\"alias_names\":[";
+      const std::size_t shown = std::min<std::size_t>(r->aliases.size(), 8);
+      for (std::size_t i = 0; i < shown; ++i)
+        os << (i ? "," : "") << "\"" << json_escape(r->aliases[i]) << "\"";
+      os << "]";
+    }
+    os << "}";
   }
   os << "]}";
   return os.str();

@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 
+#include "src/common/bitops.hpp"
 #include "src/common/check.hpp"
 #include "src/common/serialize.hpp"
 #include "src/stats/pvalue.hpp"
@@ -389,6 +390,27 @@ void FlatCountTable::add_packed(const std::uint64_t rows[64],
         add_hashed(key, group, 1);
       }
     }
+  }
+}
+
+void FlatCountTable::add_marginalized(const FlatCountTable& host,
+                                      std::uint64_t key_mask) {
+  SCA_ASSERT(direct_bits_ >= 0 && host.direct_bits_ >= 0,
+             "FlatCountTable: marginalization requires direct mode");
+  SCA_ASSERT(common::popcount64(key_mask) == direct_bits_,
+             "FlatCountTable: key mask width mismatch");
+  SCA_ASSERT(host.direct_bits_ >= 64 ||
+                 key_mask < (std::uint64_t{1} << host.direct_bits_),
+             "FlatCountTable: key mask outside the host key space");
+  const std::size_t space = std::size_t{1} << host.direct_bits_;
+  for (std::size_t key = 0; key < space; ++key) {
+    const std::uint64_t c0 = host.direct_counts_[2 * key];
+    const std::uint64_t c1 = host.direct_counts_[2 * key + 1];
+    if (c0 == 0 && c1 == 0) continue;
+    const std::size_t idx = static_cast<std::size_t>(
+        common::extract_bits64(static_cast<std::uint64_t>(key), key_mask));
+    direct_counts_[2 * idx] += c0;
+    direct_counts_[2 * idx + 1] += c1;
   }
 }
 

@@ -152,6 +152,15 @@ class FlatCountTable {
   /// over the same key space reduce with one flat array add.
   void merge(const FlatCountTable& other);
 
+  /// Direct-to-direct marginalization: folds `host`'s counts onto this
+  /// table's smaller key space, where this table's key is the parallel bit
+  /// extract of the host key under `key_mask` (popcount(key_mask) must
+  /// equal this table's direct key bits). Both tables materialize their
+  /// full key space and never pool, so the result is integer-identical to
+  /// having accumulated this table's observations directly — the
+  /// correctness basis of the campaign planner's subset hosting.
+  void add_marginalized(const FlatCountTable& host, std::uint64_t key_mask);
+
   /// G-test over the accumulated counts, columns in ascending key order
   /// (overflow bin last). Same pooling of low-expectation bins as
   /// ContingencyTable::g_test.

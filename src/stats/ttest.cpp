@@ -33,6 +33,12 @@ void MomentAccumulator::add_weighted(double sample, std::uint64_t count) {
   n_ += count;
 }
 
+void MomentAccumulator::add_weighted_histogram(const std::uint64_t* counts,
+                                               std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v)
+    if (counts[v]) add_weighted(static_cast<double>(v), counts[v]);
+}
+
 void MomentAccumulator::merge(const MomentAccumulator& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {

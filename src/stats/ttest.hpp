@@ -27,6 +27,13 @@ class MomentAccumulator {
   /// (histogram-ordered) call sequence.
   void add_weighted(double sample, std::uint64_t count);
 
+  /// Folds a whole integer histogram — counts[i] samples of value i — in
+  /// ascending-value order: exactly counts-nonzero add_weighted calls, so
+  /// the FP operation sequence (and hence the t statistic) is a pure
+  /// function of the histogram contents. The campaign's chunk-into-master
+  /// reduction for Hamming-weight observations.
+  void add_weighted_histogram(const std::uint64_t* counts, std::size_t n);
+
   void merge(const MomentAccumulator& other);
 
   std::uint64_t count() const { return n_; }

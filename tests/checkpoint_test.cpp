@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.hpp"
@@ -181,6 +182,39 @@ TEST(Checkpoint, ResumeAcrossThreadCounts) {
   EXPECT_TRUE(resumed.resumed);
   expect_identical(whole, resumed);
   std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(Checkpoint, ResumeAcrossAccumulationPaths) {
+  // The accumulation path is excluded from the snapshot fingerprint like
+  // the kernel and lane width: snapshots carry fully-materialized tables
+  // (hosted marginals included), so a campaign interrupted on the fused
+  // compiled pipeline must resume on the scalar per-set oracle — and the
+  // other way around — and still match the uninterrupted run bit for bit.
+  const Netlist nl = kronecker_netlist(RandomnessPlan::kron1_demeyer_eq6());
+  const CampaignResult whole =
+      run_fixed_vs_random(nl, staged_options(12000, 3, 1));
+  const std::pair<Accumulation, Accumulation> directions[] = {
+      {Accumulation::kBitSliced, Accumulation::kScalar},
+      {Accumulation::kScalar, Accumulation::kBitSliced}};
+  for (const auto& [first, second] : directions) {
+    const std::string tag = first == Accumulation::kScalar
+                                ? "scalar_to_fused"
+                                : "fused_to_scalar";
+    CampaignOptions opts = staged_options(12000, 3, 2, first);
+    opts.checkpoint_path = ckpt_path(tag);
+    opts.stop_after_stage = 1;
+    const CampaignResult partial = run_fixed_vs_random(nl, opts);
+    EXPECT_TRUE(partial.interrupted) << tag;
+
+    CampaignOptions resume = staged_options(12000, 3, 2, second);
+    resume.checkpoint_path = opts.checkpoint_path;
+    resume.resume = true;
+    const CampaignResult resumed = run_fixed_vs_random(nl, resume);
+    EXPECT_TRUE(resumed.resumed) << tag;
+    EXPECT_FALSE(resumed.interrupted) << tag;
+    expect_identical(whole, resumed);
+    std::remove(opts.checkpoint_path.c_str());
+  }
 }
 
 TEST(Checkpoint, ResumeUnderTableBatching) {

@@ -256,6 +256,21 @@ TEST(Bitops, CsaIsAFullAdderPerLane) {
   }
 }
 
+TEST(Bitops, ExtractBits64MatchesNaiveGather) {
+  Xoshiro256 rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t v = rng.next();
+    const std::uint64_t mask = rng.next() & rng.next();  // sparse-ish
+    std::uint64_t expected = 0;
+    unsigned bit = 0;
+    for (unsigned i = 0; i < 64; ++i)
+      if ((mask >> i) & 1) expected |= ((v >> i) & 1) << bit++;
+    EXPECT_EQ(extract_bits64(v, mask), expected);
+  }
+  EXPECT_EQ(extract_bits64(0xFFFFFFFFFFFFFFFFull, 0), 0u);
+  EXPECT_EQ(extract_bits64(0xA5ull, 0xFFull), 0xA5ull);
+}
+
 TEST(Bitops, Transpose64MatchesNaive) {
   Xoshiro256 rng(11);
   for (int trial = 0; trial < 20; ++trial) {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/bitops.hpp"
 #include "src/common/check.hpp"
 #include "src/common/rng.hpp"
 #include "src/stats/gtest_stat.hpp"
@@ -258,6 +259,21 @@ TEST(TTest, AddWeightedIsBitIdenticalToRepeatedAdds) {
   EXPECT_EQ(noop.count(), 0u);
 }
 
+TEST(TTest, AddWeightedHistogramEqualsAscendingWeightedAdds) {
+  // The batched fold the campaign's cell merge uses must replay exactly the
+  // ascending-value add_weighted sequence (bit-identical Welford state).
+  const std::vector<std::uint64_t> hist = {3, 0, 17, 1, 0, 0, 9};
+  MomentAccumulator batched, reference;
+  batched.add_weighted_histogram(hist.data(), hist.size());
+  for (std::size_t v = 0; v < hist.size(); ++v)
+    if (hist[v]) reference.add_weighted(static_cast<double>(v), hist[v]);
+  EXPECT_TRUE(batched == reference);
+
+  MomentAccumulator empty;
+  empty.add_weighted_histogram(nullptr, 0);
+  EXPECT_EQ(empty.count(), 0u);
+}
+
 // --- flat count tables --------------------------------------------------------
 
 TEST(FlatCountTable, HashedModeMatchesContingencyTable) {
@@ -310,6 +326,41 @@ TEST(FlatCountTable, DirectModeMatchesHashedMode) {
   const GTestResult b = hashed.g_test();
   EXPECT_EQ(a.bins, b.bins);
   EXPECT_EQ(a.g, b.g);  // identical column order -> identical FP sequence
+}
+
+TEST(FlatCountTable, AddMarginalizedEqualsDirectAccumulation) {
+  // The subset-hosting contract: a hosted set's table built as an integer
+  // marginal of its host's direct table is bit-identical to accumulating
+  // the hosted set sample by sample. Host keys carry 6 bits; the hosted
+  // set observes bits {0, 2, 5} of them (host_mask selects those).
+  common::Xoshiro256 rng(43);
+  const std::uint64_t mask = 0b100101;
+  FlatCountTable host, hosted_direct, marginal;
+  host.init_direct(6);
+  hosted_direct.init_direct(3);
+  marginal.init_direct(3);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.below(1u << 6);
+    const int group = static_cast<int>(rng.bit());
+    host.add(key, group);
+    hosted_direct.add(common::extract_bits64(key, mask), group);
+  }
+  marginal.add_marginalized(host, mask);
+  EXPECT_EQ(marginal.sorted_keys(), hosted_direct.sorted_keys());
+  for (std::uint64_t key : marginal.sorted_keys())
+    ASSERT_EQ(marginal.counts_for(key), hosted_direct.counts_for(key));
+  const GTestResult a = marginal.g_test();
+  const GTestResult b = hosted_direct.g_test();
+  EXPECT_EQ(a.g, b.g);
+  EXPECT_EQ(a.minus_log10_p, b.minus_log10_p);
+
+  // Re-materialization (clear + marginalize again, as the campaign does
+  // after every stage) reproduces the same table.
+  marginal.clear();
+  EXPECT_TRUE(marginal.direct_mode());
+  marginal.add_marginalized(host, mask);
+  for (std::uint64_t key : hosted_direct.sorted_keys())
+    ASSERT_EQ(marginal.counts_for(key), hosted_direct.counts_for(key));
 }
 
 TEST(FlatCountTable, OverflowKeyRoutesToOverflowBin) {
