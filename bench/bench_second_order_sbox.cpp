@@ -13,7 +13,8 @@
 
 using namespace sca;
 
-int main() {
+int main(int argc, char** argv) {
+  const benchutil::Staging staging = benchutil::parse_staging(argc, argv);
   const std::size_t sims1 = benchutil::simulations(100000);
   const std::size_t sims2 = std::max<std::size_t>(sims1 / 5, 20000);
   benchutil::Scorecard score("second_order_sbox");
@@ -26,6 +27,14 @@ int main() {
               "latency %zu, Kronecker plan %s\n\n",
               nl.size(), nl.registers().size(), sbox.latency,
               options.kron_plan.name().c_str());
+
+  // With --lint-order2, statically prove the Kronecker core second-order
+  // secure before spending any sampling budget on it (the pair campaign
+  // below estimates what this proves).
+  benchutil::lint_check(score, staging, nl,
+                        eval::ProbeModel::kGlitchTransition, "sbox2.kron.",
+                        "pair-probe linter clears the Sbox Kronecker core",
+                        /*expect_flagged=*/false, "lint2_kron", /*order=*/2);
 
   verif::ExactOptions exact_options;
   exact_options.max_vars = 24;

@@ -113,6 +113,7 @@ struct Staging {
   unsigned early_stop_stages = 0;  ///< Consecutive confirmations; 0 = off.
   double early_stop_margin = 3.0;  ///< Extra -log10(p) above the threshold.
   bool lint = false;               ///< Also run the static linter (--lint).
+  bool lint_order2 = false;        ///< Pair-probe lint checks (--lint-order2).
 
   /// Same staging with a per-campaign suffix on the checkpoint path, so a
   /// bench running several campaigns keeps their snapshots apart.
@@ -158,13 +159,15 @@ inline Staging parse_staging(int argc, char** argv) {
       s.early_stop_margin = std::strtod(v.c_str(), nullptr);
     else if (arg == "--lint")
       s.lint = true;
+    else if (arg == "--lint-order2")
+      s.lint = s.lint_order2 = true;
     else {
       std::fprintf(
           stderr,
           "unknown argument: %s\n"
           "usage: %s [--stages=N] [--checkpoint=PATH] [--resume[=PATH]]\n"
           "          [--stop-after-stage=K] [--early-stop[=K]]\n"
-          "          [--early-stop-margin=X] [--lint]\n",
+          "          [--early-stop-margin=X] [--lint] [--lint-order2]\n",
           arg.c_str(), argv[0]);
       std::exit(2);
     }
@@ -310,18 +313,22 @@ class Scorecard {
 inline void lint_check(Scorecard& score, const Staging& staging,
                        const netlist::Netlist& nl, eval::ProbeModel model,
                        const std::string& scope, const std::string& what,
-                       bool expect_flagged, const std::string& tag = "lint") {
+                       bool expect_flagged, const std::string& tag = "lint",
+                       unsigned order = 1) {
   if (!staging.lint) return;
+  if (order >= 2 && !staging.lint_order2) return;
   lint::LintOptions options;
   options.model = model == eval::ProbeModel::kGlitchTransition
                       ? lint::LintModel::kGlitchTransition
                       : lint::LintModel::kGlitch;
   options.scope_filter = scope;
+  options.order = order;
   try {
     const lint::LintReport report = lint::run_lint(nl, options);
     std::printf("%s\n", to_string(report).c_str());
     score.expect_flag(what, expect_flagged, !report.clean());
     score.note(tag + "_probes", report.probes_checked);
+    if (order >= 2) score.note(tag + "_pairs", report.pairs_deduped);
     score.note(tag + "_findings", report.findings.size());
   } catch (const common::Error& e) {
     std::printf("lint: skipped (%s)\n\n", e.what());

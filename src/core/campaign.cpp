@@ -276,13 +276,7 @@ CampaignResult run_fixed_vs_random(const Netlist& nl,
     const auto sets = enumerate_probe_sets(universe.size(), options.order);
     seen.reserve(sets.size());
     for (const auto& set : sets) {
-      std::vector<SignalId> observed;
-      for (std::size_t pi : set)
-        observed.insert(observed.end(), universe[pi].observed.begin(),
-                        universe[pi].observed.end());
-      std::sort(observed.begin(), observed.end());
-      observed.erase(std::unique(observed.begin(), observed.end()),
-                     observed.end());
+      std::vector<SignalId> observed = union_observation(universe, set);
       if (auto it = seen.find(observed); it != seen.end()) {
         std::string alias;
         for (std::size_t pi : set) {

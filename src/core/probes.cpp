@@ -1,5 +1,6 @@
 #include "src/core/probes.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "src/common/check.hpp"
@@ -84,6 +85,26 @@ std::vector<std::vector<std::size_t>> enumerate_probe_sets(
           sets.push_back({i, j, k});
   }
   return sets;
+}
+
+std::vector<SignalId> union_observation(const std::vector<Probe>& universe,
+                                        const std::vector<std::size_t>& set) {
+  common::require(!set.empty(), "union_observation: empty probe set");
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    common::require(set[k] < universe.size(),
+                    "union_observation: probe index out of range");
+    common::require(k == 0 || set[k - 1] < set[k],
+                    "union_observation: probe indices must be strictly "
+                    "ascending (no duplicates)");
+  }
+  std::vector<SignalId> observed;
+  for (std::size_t pi : set)
+    observed.insert(observed.end(), universe[pi].observed.begin(),
+                    universe[pi].observed.end());
+  std::sort(observed.begin(), observed.end());
+  observed.erase(std::unique(observed.begin(), observed.end()),
+                 observed.end());
+  return observed;
 }
 
 }  // namespace sca::eval

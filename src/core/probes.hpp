@@ -43,7 +43,19 @@ std::vector<Probe> build_probe_universe(const netlist::Netlist& nl,
                                         const std::string& scope_filter = "");
 
 /// All probe sets of size exactly `order` as index tuples into the universe.
+/// Universes smaller than `order` have no sets of that size — the result is
+/// empty, not an error; order 0 (and > 3) is rejected with common::Error.
 std::vector<std::vector<std::size_t>> enumerate_probe_sets(
     std::size_t universe_size, unsigned order);
+
+/// Union of the observation sets of the probes selected by `set` (indices
+/// into `universe`), sorted ascending and deduplicated — the joint
+/// observation a higher-order adversary sees, and the canonical key the
+/// campaign and the order-2 linter dedup probe sets by. `set` must be
+/// non-empty and strictly ascending (duplicate probe indices would silently
+/// collapse an order-k set into a lower-order one); out-of-range or
+/// ill-ordered sets throw common::Error.
+std::vector<netlist::SignalId> union_observation(
+    const std::vector<Probe>& universe, const std::vector<std::size_t>& set);
 
 }  // namespace sca::eval

@@ -170,10 +170,15 @@ std::string to_json(const CampaignResult& result, std::size_t top_n) {
 std::string to_json(const lint::LintReport& report) {
   std::ostringstream os;
   os << "{\"backend\":\"lint\",\"model\":\"" << lint::to_string(report.model)
-     << "\",\"clean\":" << (report.clean() ? "true" : "false")
+     << "\",\"order\":" << report.order
+     << ",\"clean\":" << (report.clean() ? "true" : "false")
      << ",\"probes_checked\":" << report.probes_checked
      << ",\"probes_flagged\":" << report.probes_flagged
-     << ",\"otp_cuts\":" << report.cuts_applied
+     << ",\"otp_cuts\":" << report.cuts_applied;
+  if (report.order >= 2)
+    os << ",\"pairs_enumerated\":" << report.pairs_enumerated
+       << ",\"pairs_deduped\":" << report.pairs_deduped;
+  os << ",\"truncated\":" << (report.truncated ? "true" : "false")
      << ",\"sliced\":" << (report.sliced ? "true" : "false")
      << ",\"cut_registers\":" << report.cut_registers << ",\"findings\":[";
   const auto string_array = [&](const std::vector<std::string>& items) {
@@ -186,8 +191,10 @@ std::string to_json(const lint::LintReport& report) {
     const lint::LintFinding& f = report.findings[i];
     if (i) os << ",";
     os << "{\"rule\":\"" << lint::lint_rule_name(f.rule) << "\""
-       << ",\"probe\":\"" << json_escape(f.probe_name) << "\""
-       << ",\"offending\":";
+       << ",\"probe\":\"" << json_escape(f.probe_name) << "\"";
+    if (f.probe2 != netlist::kNoSignal)
+      os << ",\"probe2\":\"" << json_escape(f.probe2_name) << "\"";
+    os << ",\"offending\":";
     string_array(f.offending);
     os << ",\"shared_fresh\":";
     string_array(f.shared_fresh);

@@ -1,8 +1,14 @@
 #include "src/core/search.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
+#include "src/common/check.hpp"
+#include "src/common/serialize.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/core/campaign.hpp"
 #include "src/gadgets/bus.hpp"
@@ -158,6 +164,306 @@ SearchResult search_all_partitions(const SearchOptions& options,
     if (i < 1) break;
   }
   return evaluate_candidates(std::move(candidates), options);
+}
+
+// --- second-order 13-bit family search ------------------------------------
+
+namespace {
+
+constexpr unsigned kFamilyBits = 13;   // f0..f12 available to upper slots
+constexpr std::uint64_t kTriples = 13ull * 12 * 11;  // ordered distinct
+
+// Decodes a gate code in [0, 1716) into an ordered triple of distinct
+// values over {0..12}, lexicographically.
+std::array<unsigned, 3> decode_triple(std::uint64_t code) {
+  const unsigned a = static_cast<unsigned>(code / (12 * 11));
+  std::uint64_t rem = code % (12 * 11);
+  const unsigned bi = static_cast<unsigned>(rem / 11);
+  const unsigned ci = static_cast<unsigned>(rem % 11);
+  // Map choice indices through the remaining-value lists.
+  std::array<unsigned, 3> out{a, 0, 0};
+  unsigned pool_b = 0;
+  for (unsigned v = 0; v < kFamilyBits; ++v) {
+    if (v == a) continue;
+    if (pool_b++ == bi) {
+      out[1] = v;
+      break;
+    }
+  }
+  unsigned pool_c = 0;
+  for (unsigned v = 0; v < kFamilyBits; ++v) {
+    if (v == a || v == out[1]) continue;
+    if (pool_c++ == ci) {
+      out[2] = v;
+      break;
+    }
+  }
+  return out;
+}
+
+std::uint64_t encode_triple(unsigned a, unsigned b, unsigned c) {
+  unsigned bi = 0;
+  for (unsigned v = 0; v < b; ++v)
+    if (v != a) ++bi;
+  unsigned ci = 0;
+  for (unsigned v = 0; v < c; ++v)
+    if (v != a && v != b) ++ci;
+  return (static_cast<std::uint64_t>(a) * 12 + bi) * 11 + ci;
+}
+
+Netlist kron2_netlist(const RandomnessPlan& plan) {
+  Netlist nl;
+  std::vector<gadgets::Bus> shares;
+  for (std::size_t i = 0; i < 3; ++i)
+    shares.push_back(gadgets::make_input_bus(
+        nl, 8, netlist::InputRole::kShare, "b" + std::to_string(i) + "_", 0,
+        static_cast<std::uint32_t>(i)));
+  gadgets::build_kronecker(nl, shares, plan);
+  return nl;
+}
+
+SecondOrderCandidateResult evaluate_family13_candidate(
+    std::uint64_t index, const SecondOrderSearchOptions& options) {
+  const RandomnessPlan plan = kron2_family13_plan(index);
+  const Netlist nl = kron2_netlist(plan);
+  SecondOrderCandidateResult r;
+  r.index = index;
+  if (options.lint_prefilter) {
+    lint::LintOptions lo;
+    lo.model = options.model == ProbeModel::kGlitchTransition
+                   ? lint::LintModel::kGlitchTransition
+                   : lint::LintModel::kGlitch;
+    lo.order = 2;
+    lo.max_findings = 1;
+    lo.threads = 1;
+    const lint::LintReport report = lint::run_lint(nl, lo);
+    if (!report.clean()) {
+      r.lint_rejected = true;
+      r.worst_probe = report.findings.front().probe_name;
+      return r;
+    }
+  }
+  CampaignOptions campaign;
+  campaign.model = options.model;
+  campaign.order = options.order;
+  campaign.simulations = options.simulations;
+  campaign.seed = options.seed;
+  campaign.threshold = options.threshold;
+  campaign.threads = 1;
+  campaign.fixed_values[0] = 0x00;
+  const CampaignResult result = run_fixed_vs_random(nl, campaign);
+  r.secure = result.pass;
+  r.severity = result.max_minus_log10_p;
+  if (!result.results.empty()) r.worst_probe = result.results.front().name;
+  return r;
+}
+
+// --- sweep checkpoint -----------------------------------------------------
+// Same envelope discipline as core/checkpoint.cpp (magic, version,
+// length-prefixed payload, FNV-1a checksum, tmp+rename), own format: the
+// payload is the per-candidate verdict list, tiny compared to campaign
+// count tables.
+
+constexpr char kSweepMagic[8] = {'S', 'C', 'A', '2', 'S', 'R', 'C', 'H'};
+constexpr std::uint64_t kSweepVersion = 1;
+
+std::uint64_t sweep_fingerprint(const SecondOrderSearchOptions& o) {
+  return common::Fnv1a()
+      .feed(std::string("kron2-family13"))
+      .feed(o.begin)
+      .feed(o.end)
+      .feed(static_cast<std::uint64_t>(o.chunk))
+      .feed(static_cast<std::uint64_t>(o.model))
+      .feed(static_cast<std::uint64_t>(o.order))
+      .feed(static_cast<std::uint64_t>(o.simulations))
+      .feed(o.seed)
+      .feed(o.threshold)
+      .feed(static_cast<std::uint64_t>(o.lint_prefilter ? 1 : 0))
+      // Lint configuration the pre-filter runs with (fixed today, part of
+      // the fingerprint so a future knob cannot silently mix sweeps).
+      .feed(std::uint64_t{2})  // lint order
+      .feed(std::uint64_t{1})  // lint max_findings
+      .value();
+}
+
+struct SweepSnapshot {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t chunks_done = 0;
+  std::vector<SecondOrderCandidateResult> finished;
+};
+
+void save_sweep_checkpoint(const std::string& path,
+                           const SweepSnapshot& snap) {
+  std::ostringstream payload;
+  common::write_u64(payload, snap.fingerprint);
+  common::write_u64(payload, snap.chunks_done);
+  common::write_u64(payload, snap.finished.size());
+  for (const SecondOrderCandidateResult& r : snap.finished) {
+    common::write_u64(payload, r.index);
+    common::write_u8(payload, r.lint_rejected ? 1 : 0);
+    common::write_u8(payload, r.secure ? 1 : 0);
+    common::write_f64(payload, r.severity);
+    common::write_string(payload, r.worst_probe);
+  }
+  const std::string bytes = payload.str();
+  const std::uint64_t checksum =
+      common::Fnv1a().feed_bytes(bytes.data(), bytes.size()).value();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    common::require(os.good(),
+                    "search checkpoint: cannot open " + tmp + " for writing");
+    os.write(kSweepMagic, sizeof(kSweepMagic));
+    common::write_u64(os, kSweepVersion);
+    common::write_u64(os, bytes.size());
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    common::write_u64(os, checksum);
+    os.flush();
+    common::require(os.good(), "search checkpoint: write to " + tmp + " failed");
+  }
+  common::require(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "search checkpoint: rename to " + path + " failed");
+}
+
+SweepSnapshot load_sweep_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  common::require(is.good(), "search checkpoint: cannot open " + path);
+  char magic[sizeof(kSweepMagic)];
+  is.read(magic, sizeof(kSweepMagic));
+  common::require(is.gcount() == sizeof(kSweepMagic) &&
+                      std::equal(magic, magic + sizeof(kSweepMagic),
+                                 kSweepMagic),
+                  "search checkpoint: " + path +
+                      " is not a sweep snapshot (bad magic)");
+  common::require(common::read_u64(is) == kSweepVersion,
+                  "search checkpoint: unsupported snapshot version in " + path);
+  const std::uint64_t size = common::read_u64(is);
+  common::require(size <= (std::uint64_t{1} << 32),
+                  "search checkpoint: payload size out of range in " + path);
+  std::string bytes(static_cast<std::size_t>(size), '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(size));
+  common::require(static_cast<std::uint64_t>(is.gcount()) == size,
+                  "search checkpoint: " + path + " is truncated");
+  const std::uint64_t checksum = common::read_u64(is);
+  common::require(
+      checksum ==
+          common::Fnv1a().feed_bytes(bytes.data(), bytes.size()).value(),
+      "search checkpoint: " + path + " is corrupt (checksum mismatch)");
+  std::istringstream payload(bytes);
+  SweepSnapshot snap;
+  snap.fingerprint = common::read_u64(payload);
+  snap.chunks_done = common::read_u64(payload);
+  const std::uint64_t n = common::read_u64(payload);
+  common::require(n <= (std::uint64_t{1} << 24),
+                  "search checkpoint: candidate count out of range");
+  snap.finished.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SecondOrderCandidateResult r;
+    r.index = common::read_u64(payload);
+    r.lint_rejected = common::read_u8(payload) != 0;
+    r.secure = common::read_u8(payload) != 0;
+    r.severity = common::read_f64(payload);
+    r.worst_probe = common::read_string(payload);
+    snap.finished.push_back(std::move(r));
+  }
+  payload.peek();
+  common::require(payload.eof(),
+                  "search checkpoint: " + path + " has trailing bytes");
+  return snap;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> SecondOrderSearchResult::secure_indices() const {
+  std::vector<std::uint64_t> out;
+  for (const SecondOrderCandidateResult& r : evaluations)
+    if (r.secure) out.push_back(r.index);
+  return out;
+}
+
+std::uint64_t kron2_family13_size() { return kTriples * kTriples * kTriples; }
+
+RandomnessPlan kron2_family13_plan(std::uint64_t index) {
+  common::require(index < kron2_family13_size(),
+                  "kron2_family13_plan: index out of range");
+  const std::uint64_t g7 = index % kTriples;
+  const std::uint64_t g6 = (index / kTriples) % kTriples;
+  const std::uint64_t g5 = index / (kTriples * kTriples);
+  std::vector<gadgets::MaskSlotExpr> slots;
+  for (unsigned k = 0; k < 12; ++k)
+    slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << k, false});
+  for (const std::uint64_t code : {g5, g6, g7})
+    for (const unsigned v : decode_triple(code))
+      slots.push_back(gadgets::MaskSlotExpr{std::uint64_t{1} << v, false});
+  return RandomnessPlan("kron2/family13-" + std::to_string(index), kFamilyBits,
+                        std::move(slots));
+}
+
+std::uint64_t kron2_family13_naive_index() {
+  // kron2_naive13: G5 = (f9, f10, f11), G6 = (f3, f4, f5), G7 = (f12, f6, f7).
+  return (encode_triple(9, 10, 11) * kTriples + encode_triple(3, 4, 5)) *
+             kTriples +
+         encode_triple(12, 6, 7);
+}
+
+SecondOrderSearchResult search_kron2_family13(
+    const SecondOrderSearchOptions& options) {
+  SecondOrderSearchOptions o = options;
+  if (o.end == 0) o.end = o.begin + o.chunk;
+  common::require(o.begin < o.end && o.end <= kron2_family13_size(),
+                  "search_kron2_family13: bad candidate window");
+  common::require(o.chunk > 0, "search_kron2_family13: chunk must be > 0");
+  common::require(o.order >= 1 && o.order <= 2,
+                  "search_kron2_family13: order must be 1 or 2");
+
+  const std::uint64_t fingerprint = sweep_fingerprint(o);
+  const std::uint64_t total = o.end - o.begin;
+  const std::size_t chunks_total =
+      static_cast<std::size_t>((total + o.chunk - 1) / o.chunk);
+
+  SweepSnapshot snap;
+  snap.fingerprint = fingerprint;
+  if (o.resume && !o.checkpoint_path.empty()) {
+    snap = load_sweep_checkpoint(o.checkpoint_path);
+    common::require(snap.fingerprint == fingerprint,
+                    "search_kron2_family13: checkpoint was written by a "
+                    "different sweep configuration (fingerprint mismatch)");
+    common::require(
+        snap.finished.size() ==
+            std::min<std::uint64_t>(snap.chunks_done * o.chunk, total),
+        "search_kron2_family13: checkpoint candidate count does not match "
+        "its chunk progress");
+  }
+
+  std::size_t ran = 0;
+  for (std::size_t c = snap.chunks_done; c < chunks_total; ++c) {
+    if (o.stop_after_chunks && ran >= o.stop_after_chunks) break;
+    const std::uint64_t lo = o.begin + c * o.chunk;
+    const std::uint64_t hi = std::min<std::uint64_t>(lo + o.chunk, o.end);
+    std::vector<SecondOrderCandidateResult> chunk_results(
+        static_cast<std::size_t>(hi - lo));
+    common::parallel_for(
+        chunk_results.size(), o.threads, [&](std::size_t i) {
+          chunk_results[i] = evaluate_family13_candidate(lo + i, o);
+        });
+    for (SecondOrderCandidateResult& r : chunk_results)
+      snap.finished.push_back(std::move(r));
+    snap.chunks_done = c + 1;
+    ++ran;
+    if (!o.checkpoint_path.empty())
+      save_sweep_checkpoint(o.checkpoint_path, snap);
+  }
+
+  SecondOrderSearchResult result;
+  result.begin = o.begin;
+  result.end = o.end;
+  result.evaluations = std::move(snap.finished);
+  result.chunks_done = snap.chunks_done;
+  result.chunks_total = chunks_total;
+  result.complete = snap.chunks_done == chunks_total;
+  for (const SecondOrderCandidateResult& r : result.evaluations)
+    (r.lint_rejected ? result.lint_rejected : result.expensive_evaluations)++;
+  return result;
 }
 
 }  // namespace sca::eval

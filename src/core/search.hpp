@@ -77,4 +77,99 @@ SearchResult search_r7_reuse(const SearchOptions& options);
 SearchResult search_all_partitions(const SearchOptions& options,
                                    std::size_t max_fresh = 0);
 
+// --- second-order 13-bit family search ------------------------------------
+//
+// The CHES 2018 optimization the paper's Experiment E9 evaluates reduces
+// the second-order Kronecker's randomness from 21 to 13 bits. Its exact
+// wiring is not printed, so this search mechanizes the reconstruction the
+// way Section IV mechanized the first-order one: enumerate the whole
+// family, evaluate every member at order 2, and let the verdicts tell the
+// story. The family: first-layer slots pinned to fresh f0..f11, and the
+// nine upper slots (G5, G6, G7) each drawing from {f0..f12} with the three
+// masks of one gate pairwise distinct — (13*12*11)^3 = 1716^3 candidates,
+// kron2_naive13 among them. A full sweep is petabyte-scale simulation
+// work; the order-2 lint pre-filter (max_findings = 1) statically rejects
+// the bulk of the candidates in milliseconds-to-seconds each, and the
+// deterministic chunk grid + checkpoint below make the remainder a
+// resumable, shardable batch job (tests pin a seeded slice; bench_e9 runs
+// a window).
+
+struct SecondOrderSearchOptions {
+  ProbeModel model = ProbeModel::kGlitchTransition;
+  /// Campaign order for the sampling evaluation (2 = the point).
+  unsigned order = 2;
+  /// Sampling budget per candidate that survives the pre-filter.
+  std::size_t simulations = 20'000;
+  std::uint64_t seed = 1;
+  double threshold = 7.0;
+  /// Worker threads (0 = SCA_THREADS env, else hardware concurrency).
+  /// Parallelism is *across* candidates inside one chunk; each candidate
+  /// evaluates single-threaded, and results land in candidate order, so
+  /// the sweep is bit-identical for every thread count.
+  unsigned threads = 0;
+  /// Run the order-2 linter (max_findings = 1) on each candidate first and
+  /// reject flagged plans without sampling. Rejection is recorded per
+  /// candidate; agreement with the unfiltered sweep is asserted on a
+  /// seeded slice in tests/lint2_test.cpp.
+  bool lint_prefilter = true;
+  /// Candidate window [begin, end) over the family index space
+  /// (end = 0 means begin + one default chunk). Windows compose: disjoint
+  /// windows can run on different machines and their result lists
+  /// concatenate into the full sweep.
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  /// Candidates per chunk. Chunks run sequentially (parallelism lives
+  /// inside a chunk) and the checkpoint advances at chunk boundaries, so
+  /// the grid is the resume granularity.
+  std::size_t chunk = 32;
+  /// Snapshot path ("" = no checkpointing). The snapshot fingerprint binds
+  /// family, window, chunk grid, model, order, budget, seed, threshold and
+  /// the lint pre-filter configuration: resuming under any other
+  /// configuration throws instead of silently mixing sweeps.
+  std::string checkpoint_path;
+  bool resume = false;
+  /// Stop after this many chunks (0 = run the window to completion) with
+  /// the checkpoint written — the forced-resume hook used by tests and CI.
+  std::size_t stop_after_chunks = 0;
+};
+
+struct SecondOrderCandidateResult {
+  std::uint64_t index = 0;     ///< family index (kron2_family13_plan(index))
+  bool lint_rejected = false;  ///< order-2 lint flagged it; not sampled
+  bool secure = false;
+  double severity = 0.0;       ///< -log10(p) of the worst probe set
+  std::string worst_probe;     ///< worst probe set (sampled candidates)
+};
+
+struct SecondOrderSearchResult {
+  /// One entry per candidate in [begin, end), in index order.
+  std::vector<SecondOrderCandidateResult> evaluations;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::size_t lint_rejected = 0;
+  std::size_t expensive_evaluations = 0;
+  std::size_t chunks_done = 0;
+  std::size_t chunks_total = 0;
+  /// False when stop_after_chunks ended the run early (resume to finish).
+  bool complete = false;
+
+  /// Indices of candidates that passed the order-2 evaluation.
+  std::vector<std::uint64_t> secure_indices() const;
+};
+
+/// Number of candidates in the 13-bit family (1716^3).
+std::uint64_t kron2_family13_size();
+
+/// Decodes a family index into its plan: index = (g5 * 1716 + g6) * 1716 +
+/// g7 where each gate code enumerates ordered distinct triples over
+/// {f0..f12} lexicographically. Throws for out-of-range indices.
+gadgets::RandomnessPlan kron2_family13_plan(std::uint64_t index);
+
+/// Family index of the kron2_naive13 plan (a sanity anchor for tests).
+std::uint64_t kron2_family13_naive_index();
+
+/// Sweeps the window [begin, end) of the 13-bit family at order 2.
+SecondOrderSearchResult search_kron2_family13(
+    const SecondOrderSearchOptions& options);
+
 }  // namespace sca::eval

@@ -221,16 +221,40 @@ RandomnessPlan RandomnessPlan::kron2_naive13() {
 }
 
 RandomnessPlan RandomnessPlan::kron2_reduced() {
-  // First and second layers fully fresh (f0..f17); the top gate reuses one
-  // first-layer mask per slot, one from each of G1, G2, G3 — the direct
-  // second-order analogue of the paper's transition-secure family
-  // (r1..r6 fresh, r7 reused from the first layer). 21 -> 18 fresh bits.
+  // First and second layers fully fresh (f0..f17); each top-gate slot is a
+  // *registered XOR* of two first-layer masks from different gates:
+  //   m01 = [f0 ^ f9]   (G1.m01 ^ G4.m01)
+  //   m02 = [f3 ^ f10]  (G2.m01 ^ G4.m02)
+  //   m12 = [f6 ^ f1]   (G3.m01 ^ G1.m02)
+  // The register breaks the glitch cone (the slot is a stable signal, not
+  // a raw mask wire), and canceling the pad would take both source masks'
+  // sibling uses — out of reach for two probes. This is the second-order
+  // generalization of Eq. (9)'s combine-and-register repair; the raw-reuse
+  // variant it replaces lives on as kron2_reduced_leaky(). 21 -> 18 bits.
+  std::vector<MaskSlotExpr> slots;
+  for (unsigned k = 0; k < 18; ++k) slots.push_back(f(k));
+  slots.push_back(fxor_reg(0, 9));
+  slots.push_back(fxor_reg(3, 10));
+  slots.push_back(fxor_reg(6, 1));
+  return RandomnessPlan("kron2/reduced-18", 18, std::move(slots));
+}
+
+RandomnessPlan RandomnessPlan::kron2_reduced_leaky() {
+  // The broken 18-bit reduction: the top gate reuses one raw first-layer
+  // mask per slot, one from each of G1, G2, G3 — the direct second-order
+  // transcription of the paper's transition-secure family (r1..r6 fresh,
+  // r7 reused from the first layer). Secure at order 1, but a probe pair
+  // (G5-layer wire, z0) cancels the reused pad against the first-layer
+  // register carrying its sibling use and then conditions on the raw
+  // inner-domain products: the order-2 campaign measures -log10 p > 60 at
+  // 200k simulations on six pairs, and the order-2 lint flags exactly
+  // those pair sets. Kept as the agreement suite's known-leaky design.
   std::vector<MaskSlotExpr> slots;
   for (unsigned k = 0; k < 18; ++k) slots.push_back(f(k));
   slots.push_back(f(0));
   slots.push_back(f(3));
   slots.push_back(f(6));
-  return RandomnessPlan("kron2/reduced-18", 18, std::move(slots));
+  return RandomnessPlan("kron2/reduced-18-leaky", 18, std::move(slots));
 }
 
 }  // namespace sca::gadgets

@@ -99,12 +99,26 @@ class RandomnessPlan {
   /// is not printed in the paper under reproduction; see EXPERIMENTS.md.
   static RandomnessPlan kron2_naive13();
 
-  /// Our reduced-randomness second-order plan: first layer fresh, upper
-  /// gates mostly fresh with top-gate reuse mirroring the first-order
-  /// transition-secure family. Validated by the evaluation engine at orders
-  /// 1 and 2 under glitch+transition probing (see bench_e9 and
-  /// EXPERIMENTS.md for the paper-vs-measured discussion).
+  /// Our reduced-randomness second-order plan: first and second layers
+  /// fresh (f0..f17); the top gate draws each slot from a *registered XOR*
+  /// of two first-layer masks taken from different gates — the second-order
+  /// generalization of Eq. (9)'s repair (combine-and-register instead of
+  /// raw reuse). 21 -> 18 fresh bits. Proven second-order secure under
+  /// glitch+transition probing by the order-2 lint (tests/lint2_test.cpp)
+  /// and confirmed by the sampling campaign at 200k simulations.
   static RandomnessPlan kron2_reduced();
+
+  /// The *plausible-looking but broken* 18-bit reduction this repo shipped
+  /// first: top-gate slots reuse one raw first-layer mask each (G1, G2,
+  /// G3), the direct second-order transcription of the paper's
+  /// transition-secure family. A pair probe on a G5-layer wire and z0
+  /// cancels the reused pad against the first-layer register that carries
+  /// its sibling use, then conditions on the raw inner-domain products —
+  /// the order-2 campaign confirms the leak (-log10 p > 60 at 200k
+  /// simulations, six probe pairs) exactly where the order-2 lint flags
+  /// it. Kept as the known-leaky calibration design of the order-2
+  /// agreement suite and bench_e9's second cautionary tale.
+  static RandomnessPlan kron2_reduced_leaky();
 
  private:
   std::string name_;

@@ -1,6 +1,8 @@
 #include "src/lint/lattice.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <unordered_map>
 
@@ -218,6 +220,12 @@ TupleVerdict TupleAnalyzer::analyze(
         if (any_element_depends(f, i)) continue;
         // Valid cut: node i = f XOR (rest without f), and f reaches the
         // tuple only through node i. Replace it by a virtual fresh var.
+        if (std::getenv("SCA_LINT_DEBUG"))
+          std::fprintf(stderr, "cut: var %zu (%s) at node %s\n", f,
+                       vars[f].input == netlist::kNoSignal
+                           ? "virtual"
+                           : unl.signal_name(vars[f].input).c_str(),
+                       unl.signal_name(cone[i]).c_str());
         resolved[i] = vars.size();
         vars.push_back(Var{true, netlist::kNoSignal});
         require(vars.size() <= var_capacity,
@@ -230,14 +238,73 @@ TupleVerdict TupleAnalyzer::analyze(
     }
   }
 
+  // --- element-level Gaussian elimination ---------------------------------
+  // The adversary's view is the *tuple* of element values, and any
+  // invertible XOR transform across elements is a bijection of that view —
+  // security is exactly preserved in both directions. So a fresh variable
+  // that appears only linearly across the whole tuple can be concentrated
+  // into one element by Gaussian elimination and acts as a one-time pad
+  // there: after eliminating f from every other row, the pivot row is
+  // f XOR (rest), with f independent of everything else the tuple sees, so
+  // its value is exactly distributed as f alone. This is the cut the node
+  // fixpoint above cannot make when f reaches the tuple through *several*
+  // stable signals — e.g. a registered first-layer cross term and an upper
+  // gate recycling its mask, the pattern that dominates order-2 pair
+  // tuples. A genuine leak can never be eliminated this way (bijections
+  // preserve the joint distribution), so soundness is unaffected.
+  std::vector<Abs> rows;
+  rows.reserve(element_ids.size());
+  for (const SignalId e : element_ids) rows.push_back(abs[cone_pos.at(e)]);
+  {
+    std::vector<bool> row_done(rows.size(), false);
+    bool row_changed = true;
+    while (row_changed) {
+      row_changed = false;
+      for (std::size_t f = 0; f < vars.size(); ++f) {
+        if (!vars[f].fresh) continue;
+        bool blocked = false;
+        std::vector<std::size_t> lin_rows;
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+          if (rows[r].nonlin.test(f)) {
+            blocked = true;
+            break;
+          }
+          if (rows[r].lin.test(f)) lin_rows.push_back(r);
+        }
+        if (blocked || lin_rows.empty()) continue;
+        const std::size_t pivot = lin_rows.front();
+        // A done pivot is already the bare pad {f}; with no other row to
+        // clean up there is nothing left to do for this variable.
+        if (lin_rows.size() == 1 && row_done[pivot]) continue;
+        for (std::size_t k = 1; k < lin_rows.size(); ++k) {
+          rows[lin_rows[k]].lin ^= rows[pivot].lin;
+          rows[lin_rows[k]].nonlin |= rows[pivot].nonlin;
+        }
+        if (!row_done[pivot]) {
+          if (std::getenv("SCA_LINT_DEBUG"))
+            std::fprintf(stderr, "row-cut: var %zu (%s) at row %zu\n", f,
+                         vars[f].input == netlist::kNoSignal
+                             ? "virtual"
+                             : unl.signal_name(vars[f].input).c_str(),
+                         pivot);
+          rows[pivot].lin = DynamicBitset(var_capacity);
+          rows[pivot].lin.set(f);
+          rows[pivot].nonlin = DynamicBitset(var_capacity);
+          row_done[pivot] = true;
+          ++verdict.cuts_applied;
+        }
+        row_changed = true;
+      }
+    }
+  }
+
   // --- non-completeness check on the residual ----------------------------
-  // Union of per-element dependencies, and per-element dependency sets for
-  // witness attribution.
+  // Union of per-row dependencies, and per-row dependency sets for witness
+  // attribution (rows are the Gaussian-transformed elements).
   std::vector<DynamicBitset> elem_deps;
   elem_deps.reserve(elements.size());
   DynamicBitset all_deps(var_capacity);
-  for (const SignalId e : element_ids) {
-    const Abs& a = abs[cone_pos.at(e)];
+  for (const Abs& a : rows) {
     DynamicBitset d = a.lin;
     d |= a.nonlin;
     all_deps |= d;

@@ -1,9 +1,12 @@
 #include "src/lint/linter.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 #include "src/common/check.hpp"
 #include "src/common/thread_pool.hpp"
@@ -135,7 +138,18 @@ LintCertificate make_certificate(const verif::ProbeDistributionEngine& engine,
 
 }  // namespace
 
+std::pair<Netlist, SignalId> pair_probe_netlist(const Netlist& nl, SignalId a,
+                                                SignalId b) {
+  Netlist out = nl;
+  const SignalId combiner = out.and_(a, b);
+  out.name_signal(combiner, "lint2.pair(" + nl.signal_name(a) + "&" +
+                                nl.signal_name(b) + ")");
+  return {std::move(out), combiner};
+}
+
 LintReport run_lint(const Netlist& nl, const LintOptions& options) {
+  common::require(options.order >= 1 && options.order <= 2,
+                  "lint: supported orders are 1 and 2");
   const bool transition = options.model == LintModel::kGlitchTransition;
 
   // Feedback handling. kReject keeps the pipeline-only contract (the
@@ -201,20 +215,105 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
 
   LintReport report;
   report.model = options.model;
+  report.order = options.order;
   report.sliced = slice.has_value();
   report.cut_registers = slice ? slice->cuts.size() : 0;
   const std::size_t probe_cycle = analyzer.probe_cycle();
 
+  std::vector<std::vector<SignalId>> probe_obs;
+  std::vector<SignalId> probe_rep;
+  probe_obs.reserve(unique.size());
+  probe_rep.reserve(unique.size());
   for (const auto& [observed, representative] : unique) {
-    ++report.probes_checked;
+    probe_obs.push_back(observed);
+    probe_rep.push_back(representative);
+  }
+  report.probes_checked = probe_obs.size();
 
+  // The unit of analysis: one probe (order 1, or the one-probe-universe
+  // fallback at order 2) or the sorted union of a pair's observation sets.
+  constexpr std::size_t kNoProbe = std::numeric_limits<std::size_t>::max();
+  struct WorkItem {
+    std::vector<SignalId> observed;  // sorted union the tuple is built from
+    std::size_t a = 0;               // first probe index into probe_rep
+    std::size_t b = kNoProbe;        // second probe index (order-2 pairs)
+  };
+  std::vector<WorkItem> items;
+  if (options.order == 1 || probe_obs.size() == 1) {
+    items.reserve(probe_obs.size());
+    for (std::size_t i = 0; i < probe_obs.size(); ++i)
+      items.push_back({probe_obs[i], i, kNoProbe});
+  } else {
+    // Pairs in lexicographic (i, j) order, deduplicated by union observation
+    // set: coinciding unions are statistically identical, so the first pair
+    // is the canonical representative and later hits only bump the counter.
+    // With pair_cache off every pair is analyzed (the findings are still
+    // canonicalized at assembly below, so the report is identical).
+    report.pairs_enumerated = probe_obs.size() * (probe_obs.size() - 1) / 2;
+    std::map<std::vector<SignalId>, std::size_t> canon;
+    for (std::size_t i = 0; i < probe_obs.size(); ++i)
+      for (std::size_t j = i + 1; j < probe_obs.size(); ++j) {
+        std::vector<SignalId> united;
+        united.reserve(probe_obs[i].size() + probe_obs[j].size());
+        std::set_union(probe_obs[i].begin(), probe_obs[i].end(),
+                       probe_obs[j].begin(), probe_obs[j].end(),
+                       std::back_inserter(united));
+        if (options.pair_cache) {
+          if (canon.find(united) != canon.end()) {
+            ++report.pairs_deduped;
+            continue;
+          }
+          canon.emplace(united, items.size());
+        }
+        items.push_back({std::move(united), i, j});
+      }
+  }
+
+  auto analyze_item = [&](const WorkItem& item) {
     std::vector<TupleElement> tuple;
-    tuple.reserve(observed.size() * (transition ? 2 : 1));
-    for (const SignalId s : observed) tuple.push_back({s, 0});
+    tuple.reserve(item.observed.size() * (transition ? 2 : 1));
+    for (const SignalId s : item.observed) tuple.push_back({s, 0});
     if (transition)
-      for (const SignalId s : observed) tuple.push_back({s, 1});
+      for (const SignalId s : item.observed) tuple.push_back({s, 1});
+    return analyzer.analyze(tuple);
+  };
 
-    const TupleVerdict verdict = analyzer.analyze(tuple);
+  std::vector<TupleVerdict> verdicts(items.size());
+  std::size_t analyzed = items.size();
+  if (options.max_findings) {
+    // Deterministic serial sweep with early exit: the prefilter only asks
+    // "is there any finding?", so the first flagged set ends the scan.
+    std::size_t flagged = 0;
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      verdicts[k] = analyze_item(items[k]);
+      if (!verdicts[k].secure && ++flagged >= options.max_findings) {
+        analyzed = k + 1;
+        report.truncated = analyzed < items.size();
+        break;
+      }
+    }
+  } else {
+    common::parallel_for(items.size(), options.threads, [&](std::size_t k) {
+      verdicts[k] = analyze_item(items[k]);
+    });
+  }
+
+  // Canonicalization map for the pair_cache-off path: only the first pair
+  // with a given union contributes (findings *and* counters), so the report
+  // is bit-identical to the cached one.
+  std::map<std::vector<SignalId>, std::size_t> emitted;
+  for (std::size_t item_index = 0; item_index < analyzed; ++item_index) {
+    const WorkItem& item = items[item_index];
+    const std::vector<SignalId>& observed = item.observed;
+    const SignalId representative = probe_rep[item.a];
+    const TupleVerdict& verdict = verdicts[item_index];
+    if (!options.pair_cache && item.b != kNoProbe) {
+      if (emitted.find(observed) != emitted.end()) {
+        ++report.pairs_deduped;
+        continue;
+      }
+      emitted.emplace(observed, item_index);
+    }
     report.cuts_applied += verdict.cuts_applied;
     if (verdict.secure) continue;
     ++report.probes_flagged;
@@ -226,8 +325,10 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
     const TupleVerdict* witness = &verdict;
     TupleVerdict glitch_verdict;
     if (transition) {
-      glitch_verdict = analyzer.analyze(std::vector<TupleElement>(
-          tuple.begin(), tuple.begin() + static_cast<std::ptrdiff_t>(observed.size())));
+      std::vector<TupleElement> glitch_tuple;
+      glitch_tuple.reserve(observed.size());
+      for (const SignalId s : observed) glitch_tuple.push_back({s, 0});
+      glitch_verdict = analyzer.analyze(glitch_tuple);
       if (glitch_verdict.secure) {
         rule = LintRule::kR4TransitionHazard;
       } else {
@@ -242,6 +343,10 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
     finding.rule = rule;
     finding.probe = representative;
     finding.probe_name = work->signal_name(representative);
+    if (item.b != kNoProbe) {
+      finding.probe2 = probe_rep[item.b];
+      finding.probe2_name = work->signal_name(finding.probe2);
+    }
     for (const std::size_t e : witness->residual_elements) {
       const std::size_t back = e / observed.size();  // 0 = probe cycle
       finding.offending.push_back(
@@ -257,8 +362,9 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
                                   cycle_suffix(probe_cycle - c.cycle));
 
     std::ostringstream msg;
-    msg << lint_rule_name(rule) << ": probe " << finding.probe_name
-        << " completes ";
+    msg << lint_rule_name(rule) << ": probe " << finding.probe_name;
+    if (!finding.probe2_name.empty()) msg << " & " << finding.probe2_name;
+    msg << " completes ";
     for (std::size_t i = 0; i < finding.completed.size(); ++i)
       msg << (i ? ", " : "") << finding.completed[i];
     if (!finding.offending.empty()) {
@@ -281,6 +387,28 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
   // (possibly sliced) netlist. One engine per probing model amortizes the
   // unrolling; the per-finding enumerations run in parallel.
   if (options.certify && !report.findings.empty()) {
+    // Order-2 findings replay through a copy of the (possibly sliced)
+    // netlist where every flagged pair gets an AND combiner: the combiner's
+    // glitch-extended cone is exactly the pair's union observation, so the
+    // unchanged single-probe exact engine certifies the joint distribution.
+    // Signal ids are preserved by the copy, so order-1 findings keep their
+    // probe id on the same netlist and one engine per model serves both.
+    Netlist pair_nl;
+    const Netlist* cert_nl = work;
+    std::vector<SignalId> cert_probe(report.findings.size());
+    bool any_pair = false;
+    for (const LintFinding& f : report.findings)
+      any_pair = any_pair || f.probe2 != netlist::kNoSignal;
+    if (any_pair) {
+      pair_nl = *work;
+      cert_nl = &pair_nl;
+    }
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+      const LintFinding& f = report.findings[i];
+      cert_probe[i] = f.probe2 == netlist::kNoSignal
+                          ? f.probe
+                          : pair_nl.and_(f.probe, f.probe2);
+    }
     verif::ExactOptions base = options.certify_options;
     base.held_inputs = held;
     base.cycles = 0;  // managed here: minimum sound depth per model
@@ -293,12 +421,12 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
     if (need_glitch) {
       verif::ExactOptions o = base;
       o.transitions = false;
-      glitch_engine.emplace(*work, o);
+      glitch_engine.emplace(*cert_nl, o);
     }
     if (need_transition) {
       verif::ExactOptions o = base;
       o.transitions = true;
-      transition_engine.emplace(*work, o);
+      transition_engine.emplace(*cert_nl, o);
     }
     common::parallel_for(
         report.findings.size(), options.threads, [&](std::size_t i) {
@@ -306,7 +434,7 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
           const verif::ProbeDistributionEngine& engine =
               f.rule == LintRule::kR4TransitionHazard ? *transition_engine
                                                       : *glitch_engine;
-          f.certificate = make_certificate(engine, f.probe);
+          f.certificate = make_certificate(engine, cert_probe[i]);
         });
   }
   return report;
@@ -314,9 +442,14 @@ LintReport run_lint(const Netlist& nl, const LintOptions& options) {
 
 std::string to_string(const LintReport& report) {
   std::ostringstream out;
-  out << "lint[" << to_string(report.model) << "]: " << report.probes_checked
-      << " probes, " << report.probes_flagged << " flagged, "
-      << report.cuts_applied << " OTP cuts";
+  out << "lint[" << to_string(report.model) << ", order " << report.order
+      << "]: " << report.probes_checked << " probes, ";
+  if (report.order >= 2)
+    out << report.pairs_enumerated << " pairs (" << report.pairs_deduped
+        << " union-deduped), ";
+  out << report.probes_flagged << " flagged, " << report.cuts_applied
+      << " OTP cuts";
+  if (report.truncated) out << " (truncated)";
   if (report.sliced)
     out << " (feedback sliced at " << report.cut_registers
         << " state registers)";

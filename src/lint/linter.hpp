@@ -29,12 +29,20 @@
 //                           observed too (Eq. (9)'s r5 = r4 reuse, the
 //                           paper's Section IV).
 //
-// Soundness scope: a clean lint verdict is a *proof* of first-order
-// probing security under the analysis' model (uniform independent fresh
-// inputs, fresh re-sharing per cycle, single probe). A finding is a
-// potential hazard, not a counterexample — precision is validated against
-// verif::exact over the paper's plan spaces in tests/lint_test.cpp; see
-// DESIGN.md for what the linter can and cannot conclude vs PROLEAD.
+// Soundness scope: a clean lint verdict is a *proof* of probing security at
+// the requested order under the analysis' model (uniform independent fresh
+// inputs, fresh re-sharing per cycle). A finding is a potential hazard, not
+// a counterexample — precision is validated against verif::exact over the
+// paper's plan spaces in tests/lint_test.cpp; see DESIGN.md for what the
+// linter can and cannot conclude vs PROLEAD.
+//
+// Order 2 (LintOptions::order = 2) analyzes probe *pairs*: the adversary's
+// joint observation is the union of the two probes' extended cones, so the
+// same (L,N) lattice + OTP elimination runs on the union tuple. Pairs whose
+// unions coincide are statistically identical and collapse onto one
+// canonical finding (union-observation dedup); a clean order-2 report
+// proves every pair's joint distribution independent of the secrets, which
+// subsumes order 1 by subset monotonicity.
 #pragma once
 
 #include <cstddef>
@@ -78,6 +86,23 @@ enum class FeedbackMode {
 
 struct LintOptions {
   LintModel model = LintModel::kGlitch;
+  /// Probing order: 1 checks every deduplicated probe alone, 2 checks every
+  /// probe *pair* on the union of the two observation cones (which subsumes
+  /// order 1 whenever the universe has at least two probes; a one-probe
+  /// universe falls back to the single probe).
+  unsigned order = 1;
+  /// Order 2 only: reuse the verdict of a previously-analyzed pair whose
+  /// union observation set coincides (canonical cache). Findings are
+  /// canonicalized per union either way — the toggle only controls whether
+  /// duplicate unions are re-analyzed, and exists so tests can assert the
+  /// dedup changes nothing.
+  bool pair_cache = true;
+  /// Stop after this many findings (0 = report all). The scan degrades to a
+  /// deterministic serial sweep in probe/pair order, so the prefilter use
+  /// (max_findings = 1: "is there any finding?") exits on the first hazard
+  /// without paying for the full universe. LintReport::truncated records
+  /// that the sweep stopped early.
+  std::size_t max_findings = 0;
   /// Only probe signals whose hierarchical name starts with this prefix
   /// (same semantics as the campaign's probe_scope_filter).
   std::string scope_filter;
@@ -130,6 +155,12 @@ struct LintFinding {
   /// probe_name always matches the original design's hierarchy).
   netlist::SignalId probe = netlist::kNoSignal;
   std::string probe_name;  ///< representative signal, e.g. "kron.G7.inner0"
+  /// Second probe of an order-2 finding (kNoSignal for order-1 findings and
+  /// the one-probe-universe fallback). The pair is the lexicographically
+  /// first one whose union observation set exhibits the hazard; later pairs
+  /// with the same union are folded into this finding.
+  netlist::SignalId probe2 = netlist::kNoSignal;
+  std::string probe2_name;
   /// Residual observed signals the hazard lives in, "name@t[-k]" form.
   std::vector<std::string> offending;
   /// Fresh bits shared between offending signals ("f0@t-2"), R1/R4.
@@ -145,9 +176,19 @@ struct LintFinding {
 struct LintReport {
   std::vector<LintFinding> findings;
   LintModel model = LintModel::kGlitch;
-  std::size_t probes_checked = 0;
+  unsigned order = 1;
+  std::size_t probes_checked = 0;  ///< deduplicated probe positions
+  /// Flagged probe sets (order 1: probes; order 2: canonical pair unions).
   std::size_t probes_flagged = 0;
   std::size_t cuts_applied = 0;  ///< total OTP eliminations across probes
+  /// Order 2 only: probe pairs enumerated, and how many of them collapsed
+  /// onto an earlier pair's union observation set.
+  std::size_t pairs_enumerated = 0;
+  std::size_t pairs_deduped = 0;
+  /// True when max_findings stopped the sweep before the whole universe was
+  /// analyzed — the report is then a valid "not clean" witness but not an
+  /// exhaustive finding list.
+  bool truncated = false;
   /// True when register feedback was cut into a combinational slice.
   bool sliced = false;
   /// Number of registers the slice extraction cut (0 when not sliced).
@@ -164,5 +205,15 @@ LintReport run_lint(const netlist::Netlist& nl, const LintOptions& options = {})
 
 /// Renders the report as an aligned text table (one line per finding).
 std::string to_string(const LintReport& report);
+
+/// Returns a copy of `nl` with one extra AND gate whose fanins are the two
+/// probe signals. The AND's glitch-extended observation cone is exactly the
+/// union of the two probes' cones, so a *single* probe on the combiner in
+/// the copy sees what the pair sees in the original — the replay vehicle
+/// that lets order-2 findings be certified (and tests replay-validated)
+/// through the unchanged single-probe verif::exact engine. Signal ids of
+/// `nl` are preserved; the returned id is the combiner.
+std::pair<netlist::Netlist, netlist::SignalId> pair_probe_netlist(
+    const netlist::Netlist& nl, netlist::SignalId a, netlist::SignalId b);
 
 }  // namespace sca::lint

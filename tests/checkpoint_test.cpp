@@ -19,6 +19,7 @@
 #include "src/common/check.hpp"
 #include "src/core/campaign.hpp"
 #include "src/core/checkpoint.hpp"
+#include "src/core/search.hpp"
 #include "src/gadgets/bus.hpp"
 #include "src/gadgets/kronecker.hpp"
 #include "src/netlist/ir.hpp"
@@ -391,6 +392,109 @@ TEST(EarlyStop, StoppedCampaignStillMatchesLeakNames) {
             full_leaks.end())
       << "early-stop worst set " << stopped.results.front().name
       << " is not a gross leak of the full run";
+}
+
+// --- second-order family search: sharded checkpoint/resume ----------------
+
+SecondOrderSearchOptions family_window(std::size_t candidates,
+                                       unsigned threads) {
+  SecondOrderSearchOptions opts;
+  opts.model = ProbeModel::kGlitch;
+  opts.begin = kron2_family13_naive_index();
+  opts.end = opts.begin + candidates;
+  opts.chunk = 2;
+  opts.threads = threads;
+  // The whole window is statically lint-rejected (the naive plan's G5/G6
+  // reuse leaks regardless of the G7 wiring), so these sweeps never pay for
+  // sampling; campaign determinism across thread counts has its own suite
+  // above and in eval_test.
+  opts.simulations = 500;
+  return opts;
+}
+
+void expect_identical(const SecondOrderSearchResult& a,
+                      const SecondOrderSearchResult& b) {
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.lint_rejected, b.lint_rejected);
+  EXPECT_EQ(a.expensive_evaluations, b.expensive_evaluations);
+  ASSERT_EQ(a.evaluations.size(), b.evaluations.size());
+  for (std::size_t i = 0; i < a.evaluations.size(); ++i) {
+    EXPECT_EQ(a.evaluations[i].index, b.evaluations[i].index) << i;
+    EXPECT_EQ(a.evaluations[i].lint_rejected, b.evaluations[i].lint_rejected);
+    EXPECT_EQ(a.evaluations[i].secure, b.evaluations[i].secure);
+    EXPECT_EQ(a.evaluations[i].severity, b.evaluations[i].severity);
+    EXPECT_EQ(a.evaluations[i].worst_probe, b.evaluations[i].worst_probe);
+  }
+}
+
+TEST(SecondOrderSearch, ResumeIsBitIdenticalAcrossThreadCounts) {
+  const SecondOrderSearchResult whole =
+      search_kron2_family13(family_window(4, 1));
+  ASSERT_TRUE(whole.complete);
+  EXPECT_EQ(whole.chunks_total, 2u);
+
+  for (const unsigned threads : {1u, 4u}) {
+    SecondOrderSearchOptions opts = family_window(4, threads);
+    opts.checkpoint_path =
+        ckpt_path("family13_t" + std::to_string(threads));
+    opts.stop_after_chunks = 1;
+    const SecondOrderSearchResult part = search_kron2_family13(opts);
+    EXPECT_FALSE(part.complete);
+    EXPECT_EQ(part.chunks_done, 1u);
+    EXPECT_EQ(part.evaluations.size(), 2u);
+
+    opts.stop_after_chunks = 0;
+    opts.resume = true;
+    const SecondOrderSearchResult resumed = search_kron2_family13(opts);
+    ASSERT_TRUE(resumed.complete);
+    expect_identical(whole, resumed);
+    std::remove(opts.checkpoint_path.c_str());
+  }
+}
+
+TEST(SecondOrderSearch, FingerprintRejectsConfigurationFlips) {
+  SecondOrderSearchOptions opts = family_window(4, 2);
+  opts.checkpoint_path = ckpt_path("family13_fp");
+  opts.stop_after_chunks = 1;
+  ASSERT_FALSE(search_kron2_family13(opts).complete);
+
+  // Resuming with the lint pre-filter toggled off would silently change
+  // what the remaining chunks compute — the fingerprint must refuse.
+  SecondOrderSearchOptions flipped = opts;
+  flipped.resume = true;
+  flipped.stop_after_chunks = 0;
+  flipped.lint_prefilter = false;
+  EXPECT_THROW(search_kron2_family13(flipped), common::Error);
+
+  // Same for a different budget, window, or chunk grid.
+  SecondOrderSearchOptions other_budget = opts;
+  other_budget.resume = true;
+  other_budget.simulations = 501;
+  EXPECT_THROW(search_kron2_family13(other_budget), common::Error);
+  SecondOrderSearchOptions other_grid = opts;
+  other_grid.resume = true;
+  other_grid.chunk = 4;
+  EXPECT_THROW(search_kron2_family13(other_grid), common::Error);
+
+  // The unflipped configuration still resumes fine afterwards.
+  SecondOrderSearchOptions good = opts;
+  good.resume = true;
+  good.stop_after_chunks = 0;
+  EXPECT_TRUE(search_kron2_family13(good).complete);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(SecondOrderSearch, RejectsBadWindows) {
+  SecondOrderSearchOptions opts;
+  opts.begin = 5;
+  opts.end = 5;
+  EXPECT_THROW(search_kron2_family13(opts), common::Error);
+  opts.end = kron2_family13_size() + 1;
+  EXPECT_THROW(search_kron2_family13(opts), common::Error);
+  opts.begin = 0;
+  opts.end = 1;
+  opts.chunk = 0;
+  EXPECT_THROW(search_kron2_family13(opts), common::Error);
 }
 
 }  // namespace

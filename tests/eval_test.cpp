@@ -82,6 +82,50 @@ TEST(Probes, EnumerateSets) {
   EXPECT_THROW(enumerate_probe_sets(5, 4), common::Error);
 }
 
+TEST(Probes, EnumerateSetsEdgeCases) {
+  // A universe smaller than the order has no sets of that size: empty, not
+  // an error (the order-2 sweep over a one-probe scope is vacuously clean).
+  EXPECT_TRUE(enumerate_probe_sets(1, 2).empty());
+  EXPECT_TRUE(enumerate_probe_sets(0, 1).empty());
+  EXPECT_TRUE(enumerate_probe_sets(2, 3).empty());
+  // Order 0 would be the empty observation — meaningless, rejected.
+  EXPECT_THROW(enumerate_probe_sets(5, 0), common::Error);
+  EXPECT_THROW(enumerate_probe_sets(0, 0), common::Error);
+}
+
+TEST(Probes, UnionObservationMergesAndValidates) {
+  Netlist nl;
+  const SignalId a = nl.add_input(InputRole::kControl, "a");
+  const SignalId b = nl.add_input(InputRole::kControl, "b");
+  const SignalId c = nl.add_input(InputRole::kControl, "c");
+  nl.and_(a, b);
+  nl.and_(b, c);
+  const netlist::StableSupport supports(nl);
+  const auto universe = build_probe_universe(nl, supports);
+  // {a}, {b}, {c}, {a,b}, {b,c} — five distinct observation sets.
+  ASSERT_EQ(universe.size(), 5u);
+  std::size_t ab = universe.size(), bc = universe.size();
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    if (universe[i].observed == std::vector<SignalId>{a, b}) ab = i;
+    if (universe[i].observed == std::vector<SignalId>{b, c}) bc = i;
+  }
+  ASSERT_LT(ab, universe.size());
+  ASSERT_LT(bc, universe.size());
+  const auto& lo = std::min(ab, bc);
+  const auto& hi = std::max(ab, bc);
+  // The joint observation dedups the shared b and stays ascending.
+  EXPECT_EQ(union_observation(universe, {lo, hi}),
+            (std::vector<SignalId>{a, b, c}));
+  // A single-probe "union" is the probe's own observation set.
+  EXPECT_EQ(union_observation(universe, {ab}), universe[ab].observed);
+  // Empty sets, duplicate indices (an order-2 set silently collapsing to
+  // order 1), ill-ordered and out-of-range sets are all rejected.
+  EXPECT_THROW(union_observation(universe, {}), common::Error);
+  EXPECT_THROW(union_observation(universe, {ab, ab}), common::Error);
+  EXPECT_THROW(union_observation(universe, {hi, lo}), common::Error);
+  EXPECT_THROW(union_observation(universe, {universe.size()}), common::Error);
+}
+
 // --- campaign basics ---------------------------------------------------------------
 
 TEST(Campaign, RequiresShares) {

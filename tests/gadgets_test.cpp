@@ -310,6 +310,7 @@ TEST(RandomnessPlan, ParseRoundTripsAllNamedPlans) {
         RandomnessPlan::kron1_proposed_eq9(), RandomnessPlan::kron1_pair_reuse(),
         RandomnessPlan::kron1_transition_secure(2),
         RandomnessPlan::kron2_full_fresh(), RandomnessPlan::kron2_reduced(),
+        RandomnessPlan::kron2_reduced_leaky(),
         RandomnessPlan::kron2_naive13()}) {
     const RandomnessPlan back = RandomnessPlan::parse("rt", plan.describe());
     EXPECT_EQ(back.slots(), plan.slots()) << plan.name();

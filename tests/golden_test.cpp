@@ -155,6 +155,43 @@ TEST(GoldenVerdicts, E8TransitionSearchFindsTheFourSolutions) {
   EXPECT_EQ(search.min_secure_fresh(), 6u);
 }
 
+// E9 (second order): the unoptimized and repaired-reduced second-order
+// Kroneckers pass at orders 1 and 2; the naive 13-bit slot sharing passes
+// order 1 but FAILS order 2 decisively (severity ~30+ at 4 k sims against
+// the 7.0 threshold, budget-linear like E2, so these are stable goldens).
+// The order-2 budget is small because the order-2 set universe (~32 k
+// pairs) multiplies the per-simulation cost ~100x over order 1.
+constexpr std::size_t kSims2 = 4'000;
+
+TEST(GoldenVerdicts, E9NaiveThirteenPassesOrderOneFailsOrderTwo) {
+  const auto naive = RandomnessPlan::kron2_naive13();
+  const CampaignResult o1 = benchutil::run_kronecker(
+      naive, ProbeModel::kGlitch, kSims, 1, 3);
+  EXPECT_TRUE(o1.pass);
+  const CampaignResult o2 = benchutil::run_kronecker(
+      naive, ProbeModel::kGlitch, kSims2, 2, 3);
+  EXPECT_FALSE(o2.pass);
+  EXPECT_GT(o2.max_minus_log10_p, 15.0);  // ~30 at this budget
+  // The leak is a probe *pair* inside the Kronecker.
+  ASSERT_GT(o2.leaking_sets, 0u);
+  EXPECT_NE(o2.results.front().name.find(" & "), std::string::npos);
+  EXPECT_NE(o2.results.front().name.find("kron."), std::string::npos);
+}
+
+TEST(GoldenVerdicts, E9RepairedReducedPassesOrdersOneAndTwo) {
+  const auto reduced = RandomnessPlan::kron2_reduced();
+  EXPECT_EQ(reduced.fresh_count(), 18u);
+  const CampaignResult o1 = benchutil::run_kronecker(
+      reduced, ProbeModel::kGlitchTransition, kSims, 1, 3);
+  EXPECT_TRUE(o1.pass);
+  EXPECT_EQ(o1.leaking_sets, 0u);
+  const CampaignResult o2 = benchutil::run_kronecker(
+      reduced, ProbeModel::kGlitchTransition, kSims2, 2, 3);
+  EXPECT_TRUE(o2.pass);
+  EXPECT_EQ(o2.leaking_sets, 0u);
+  EXPECT_LT(o2.max_minus_log10_p, 7.0);
+}
+
 // Null calibration: with the fixed group drawing random secrets too, the
 // null hypothesis is true by construction — a verdict above 7.0 would be a
 // false positive of the G-test/Williams-correction path itself. The max

@@ -1,0 +1,375 @@
+// Order-2 (pair-probe) lint suite: agreement with the glitch+transition
+// sampler on the second-order Kronecker designs, calibration gadgets with
+// known order-2 verdicts, property tests for the pair enumeration, and the
+// lint pre-filter driving the 13-bit family search.
+//
+// The agreement contract is one-directional by the linter's soundness
+// scope: lint-clean is a *proof*, so a sampled FAIL on a lint-clean design
+// is a test failure (a lint false negative — the one thing the suite must
+// never allow). A lint finding is a potential hazard; the sampler may need
+// a paper-scale budget to confirm it (kron2_reduced_leaky's bias is ~0.2%,
+// invisible below ~200 k simulations — that false-negative-by-budget story
+// is asserted here deliberately).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/core/campaign.hpp"
+#include "src/core/report.hpp"
+#include "src/core/search.hpp"
+#include "src/gadgets/bus.hpp"
+#include "src/gadgets/kronecker.hpp"
+#include "src/gadgets/randomness_plan.hpp"
+#include "src/lint/linter.hpp"
+#include "src/verif/exact.hpp"
+
+namespace sca {
+namespace {
+
+using gadgets::RandomnessPlan;
+using lint::LintModel;
+using lint::LintOptions;
+using lint::LintReport;
+using netlist::InputRole;
+using netlist::Netlist;
+using netlist::SignalId;
+
+Netlist build_kron2(const RandomnessPlan& plan) {
+  Netlist nl;
+  std::vector<gadgets::Bus> shares;
+  for (std::size_t i = 0; i < 3; ++i)
+    shares.push_back(gadgets::make_input_bus(
+        nl, 8, InputRole::kShare, "b" + std::to_string(i) + "_", 0,
+        static_cast<std::uint32_t>(i)));
+  gadgets::build_kronecker(nl, shares, plan);
+  return nl;
+}
+
+LintReport lint2(const Netlist& nl, LintModel model,
+                 std::size_t max_findings = 0) {
+  LintOptions options;
+  options.model = model;
+  options.order = 2;
+  options.max_findings = max_findings;
+  return lint::run_lint(nl, options);
+}
+
+eval::CampaignResult sample2(const Netlist& nl, eval::ProbeModel model,
+                             std::size_t sims) {
+  eval::CampaignOptions options;
+  options.model = model;
+  options.order = 2;
+  options.simulations = sims;
+  options.fixed_values[0] = 0x00;
+  return eval::run_fixed_vs_random(nl, options);
+}
+
+// Calibration gadgets over a 3-share secret (2-share designs are order-2
+// insecure by construction: the probe pair (x0, x1) reads both shares).
+//
+// Leaky: u = reg(x0 ^ x1 ^ r), v = reg(x2 ^ r). Each register alone is a
+// uniformly padded value and no single glitch cone spans all three shares,
+// so order 1 is clean — but the register pair XORs to the secret through
+// the shared pad, the canonical order-2 leak. `swap_build_order` builds v
+// first, to assert the verdict does not depend on signal-id order.
+Netlist shared_pad_pair(bool swap_build_order = false) {
+  Netlist nl;
+  const SignalId x0 = nl.add_input(InputRole::kShare, "x0", {0, 0, 0});
+  const SignalId x1 = nl.add_input(InputRole::kShare, "x1", {0, 1, 0});
+  const SignalId x2 = nl.add_input(InputRole::kShare, "x2", {0, 2, 0});
+  const SignalId r = nl.add_input(InputRole::kRandom, "r");
+  const auto build_u = [&] {
+    const SignalId ux = nl.xor_(nl.xor_(x0, r), x1);
+    nl.name_signal(ux, "ux");
+    const SignalId u = nl.reg(ux);
+    nl.name_signal(u, "u");
+    nl.add_output("u", u);
+  };
+  const auto build_v = [&] {
+    const SignalId vx = nl.xor_(x2, r);
+    nl.name_signal(vx, "vx");
+    const SignalId v = nl.reg(vx);
+    nl.name_signal(v, "v");
+    nl.add_output("v", v);
+  };
+  if (swap_build_order) {
+    build_v();
+    build_u();
+  } else {
+    build_u();
+    build_v();
+  }
+  return nl;
+}
+
+// Secure control: per-share resharing with independent pads — any two
+// probes see at most two shares (directly or padded), so every pair's
+// joint observation stays secret-independent.
+Netlist independent_pad_resharing() {
+  Netlist nl;
+  for (unsigned i = 0; i < 3; ++i) {
+    const SignalId x = nl.add_input(InputRole::kShare,
+                                    "x" + std::to_string(i), {0, i, 0});
+    const SignalId r =
+        nl.add_input(InputRole::kRandom, "r" + std::to_string(i));
+    const SignalId y = nl.reg(nl.xor_(x, r));
+    nl.name_signal(y, "y" + std::to_string(i));
+    nl.add_output("y" + std::to_string(i), y);
+  }
+  return nl;
+}
+
+// --- calibration family: known order-2 verdicts, lint vs sampler ----------
+
+TEST(Lint2, SharedPadResharingFlaggedAndConfirmedBySampler) {
+  const Netlist nl = shared_pad_pair();
+  // Order 1: no single observation spans all three shares — clean.
+  LintOptions o1;
+  o1.model = LintModel::kGlitch;
+  EXPECT_TRUE(lint::run_lint(nl, o1).clean());
+  // Order 2: the register pair completes the sharing through the shared pad.
+  const LintReport report = lint2(nl, LintModel::kGlitch);
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(report.order, 2u);
+  // The finding names a genuine pair (both probes set).
+  EXPECT_NE(report.findings.front().probe2, netlist::kNoSignal);
+  // And the sampler agrees immediately — the leak is total (u ^ v = x0 ^
+  // x1 ^ x2), so a small budget is decisive.
+  const auto sampled = sample2(nl, eval::ProbeModel::kGlitch, 2000);
+  EXPECT_FALSE(sampled.pass);
+  EXPECT_GT(sampled.max_minus_log10_p, 20.0);
+}
+
+TEST(Lint2, IndependentPadResharingCleanAndConfirmedBySampler) {
+  const Netlist nl = independent_pad_resharing();
+  const LintReport report = lint2(nl, LintModel::kGlitchTransition);
+  EXPECT_TRUE(report.clean()) << to_string(report);
+  // Zero-false-negative contract: lint-clean must never sample FAIL.
+  const auto sampled =
+      sample2(nl, eval::ProbeModel::kGlitchTransition, 2000);
+  EXPECT_TRUE(sampled.pass) << "lint false negative: sampler found "
+                            << sampled.results.front().name;
+}
+
+TEST(Lint2, PairVerdictInvariantUnderConstructionOrder) {
+  // The same gadget built with its two registers in either order must
+  // produce the same verdict and the same flagged pair (by name).
+  const LintReport fwd =
+      lint2(shared_pad_pair(/*swap_build_order=*/false), LintModel::kGlitch);
+  const LintReport rev =
+      lint2(shared_pad_pair(/*swap_build_order=*/true), LintModel::kGlitch);
+  ASSERT_FALSE(fwd.clean());
+  ASSERT_FALSE(rev.clean());
+  EXPECT_EQ(fwd.findings.size(), rev.findings.size());
+  const auto pair_names = [](const LintReport& r) {
+    std::vector<std::string> names;
+    for (const auto& f : r.findings) {
+      std::string a = f.probe_name, b = f.probe2_name;
+      if (b < a) std::swap(a, b);
+      names.push_back(a + "&" + b);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+  EXPECT_EQ(pair_names(fwd), pair_names(rev));
+  EXPECT_EQ(fwd.probes_flagged, rev.probes_flagged);
+}
+
+TEST(Lint2, PairCertificateReplaysThroughExactVerifier) {
+  const Netlist nl = shared_pad_pair();
+  LintOptions options;
+  options.model = LintModel::kGlitch;
+  options.order = 2;
+  options.certify = true;
+  const LintReport report = lint::run_lint(nl, options);
+  ASSERT_FALSE(report.clean());
+  const lint::LintFinding& f = report.findings.front();
+  ASSERT_TRUE(f.certificate.has_value());
+  EXPECT_TRUE(f.certificate->available)
+      << f.certificate->unavailable_reason;
+  EXPECT_GT(f.certificate->tv_distance, 0.0);
+  EXPECT_NE(f.certificate->secret_a, f.certificate->secret_b);
+
+  // The replay vehicle itself: a single probe on the pair-combiner in the
+  // augmented netlist sees what the pair sees, and the unchanged
+  // single-probe exact verifier finds the leak there.
+  const auto [combined, combiner] =
+      lint::pair_probe_netlist(nl, f.probe, f.probe2);
+  const verif::ExactReport exact =
+      verif::verify_first_order_glitch(combined, {});
+  EXPECT_TRUE(exact.any_leak);
+}
+
+// --- agreement on the second-order Kronecker designs ----------------------
+
+TEST(Lint2, NaiveThirteenFlaggedAtOrderTwoAgreesWithSampler) {
+  const Netlist nl = build_kron2(RandomnessPlan::kron2_naive13());
+  const LintReport report = lint2(nl, LintModel::kGlitch, /*max_findings=*/1);
+  ASSERT_FALSE(report.clean());
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.findings.size(), 1u);
+  const auto sampled = sample2(nl, eval::ProbeModel::kGlitch, 4000);
+  EXPECT_FALSE(sampled.pass);
+}
+
+TEST(Lint2, RepairedReducedCleanAtOrderTwoAgreesWithSampler) {
+  // The registered-XOR repair (G7 slots [f0^f9], [f3^f10], [f6^f1]): the
+  // pair-probe lint proves it second-order secure under glitch+transition
+  // probing, and the sampler must agree (zero false negatives). The
+  // 200k-simulation confirmation lives in EXPERIMENTS.md; this budget
+  // keeps CI honest without re-running it.
+  const Netlist nl = build_kron2(RandomnessPlan::kron2_reduced());
+  const LintReport report = lint2(nl, LintModel::kGlitchTransition);
+  EXPECT_TRUE(report.clean()) << to_string(report);
+  const auto sampled =
+      sample2(nl, eval::ProbeModel::kGlitchTransition, 4000);
+  EXPECT_TRUE(sampled.pass) << "lint false negative at "
+                            << sampled.results.front().name;
+}
+
+TEST(Lint2, LeakyReducedFlaggedWhereTheSamplerBudgetFails) {
+  // The design this repo originally shipped: raw first-layer masks reused
+  // in the top gate. The lint flags it statically; a small-budget sampler
+  // PASSES (the bias is ~0.2%, needs ~200 k simulations) — the exact
+  // false-negative the paper warns evaluation-tool users about, and the
+  // reason the pre-filter is lint and not a cheap campaign.
+  const Netlist nl = build_kron2(RandomnessPlan::kron2_reduced_leaky());
+  const LintReport report = lint2(nl, LintModel::kGlitchTransition);
+  ASSERT_FALSE(report.clean());
+  for (const auto& f : report.findings)
+    EXPECT_NE(f.probe2, netlist::kNoSignal) << f.message;
+  const auto sampled =
+      sample2(nl, eval::ProbeModel::kGlitchTransition, 2000);
+  EXPECT_TRUE(sampled.pass)
+      << "budget grew teeth: update the narrative in EXPERIMENTS.md";
+}
+
+// --- pair enumeration properties ------------------------------------------
+
+TEST(Lint2, PairCountersAndCacheInvariance) {
+  const Netlist nl = build_kron2(RandomnessPlan::kron2_naive13());
+  LintOptions options;
+  options.model = LintModel::kGlitch;
+  options.order = 2;
+  const LintReport cached = lint::run_lint(nl, options);
+  options.pair_cache = false;
+  const LintReport uncached = lint::run_lint(nl, options);
+
+  // Enumeration covers exactly the C(n, 2) pairs of the deduplicated
+  // universe, and union-dedup folds a nonzero share of them.
+  const std::size_t n = cached.probes_checked;
+  EXPECT_EQ(cached.pairs_enumerated, n * (n - 1) / 2);
+  EXPECT_GT(cached.pairs_deduped, 0u);
+  EXPECT_LT(cached.pairs_deduped, cached.pairs_enumerated);
+
+  // The cache is an optimization, not a semantic switch: identical
+  // findings, flag counts and dedup counters either way.
+  EXPECT_EQ(cached.pairs_enumerated, uncached.pairs_enumerated);
+  EXPECT_EQ(cached.pairs_deduped, uncached.pairs_deduped);
+  EXPECT_EQ(cached.probes_flagged, uncached.probes_flagged);
+  ASSERT_EQ(cached.findings.size(), uncached.findings.size());
+  for (std::size_t i = 0; i < cached.findings.size(); ++i) {
+    EXPECT_EQ(cached.findings[i].probe_name, uncached.findings[i].probe_name);
+    EXPECT_EQ(cached.findings[i].probe2_name,
+              uncached.findings[i].probe2_name);
+    EXPECT_EQ(cached.findings[i].rule, uncached.findings[i].rule);
+    EXPECT_EQ(cached.findings[i].message, uncached.findings[i].message);
+  }
+}
+
+TEST(Lint2, OrderTwoSubsumesOrderOne) {
+  // A clean order-2 report proves every pair's joint distribution secret-
+  // independent, which contains every single probe as a subset: order 1 on
+  // the same design must also be clean.
+  const Netlist nl = build_kron2(RandomnessPlan::kron2_reduced());
+  ASSERT_TRUE(lint2(nl, LintModel::kGlitchTransition).clean());
+  LintOptions o1;
+  o1.model = LintModel::kGlitchTransition;
+  EXPECT_TRUE(lint::run_lint(nl, o1).clean());
+}
+
+TEST(Lint2, JsonReportCarriesPairFields) {
+  const Netlist nl = shared_pad_pair();
+  const LintReport report = lint2(nl, LintModel::kGlitch);
+  ASSERT_FALSE(report.clean());
+  const std::string json = eval::to_json(report);
+  EXPECT_NE(json.find("\"order\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pairs_enumerated\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pairs_deduped\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"probe2\":"), std::string::npos) << json;
+}
+
+// --- the 13-bit family and its lint-prefiltered search --------------------
+
+TEST(Lint2, Family13DecodeAnchors) {
+  EXPECT_EQ(eval::kron2_family13_size(),
+            std::uint64_t{1716} * 1716 * 1716);
+  const std::uint64_t naive = eval::kron2_family13_naive_index();
+  const auto plan = eval::kron2_family13_plan(naive);
+  EXPECT_EQ(plan.slots(), RandomnessPlan::kron2_naive13().slots());
+  EXPECT_EQ(plan.fresh_count(), 13u);
+  EXPECT_THROW(eval::kron2_family13_plan(eval::kron2_family13_size()),
+               common::Error);
+  // Every decoded candidate keeps one gate's three masks pairwise distinct.
+  for (const std::uint64_t index :
+       {std::uint64_t{0}, std::uint64_t{1715}, std::uint64_t{1716}, naive,
+        eval::kron2_family13_size() - 1}) {
+    const auto p = eval::kron2_family13_plan(index);
+    ASSERT_EQ(p.slot_count(), 21u);
+    for (std::size_t g = 12; g < 21; g += 3) {
+      EXPECT_NE(p.slots()[g].fresh_mask, p.slots()[g + 1].fresh_mask);
+      EXPECT_NE(p.slots()[g].fresh_mask, p.slots()[g + 2].fresh_mask);
+      EXPECT_NE(p.slots()[g + 1].fresh_mask, p.slots()[g + 2].fresh_mask);
+    }
+  }
+}
+
+TEST(Lint2, PrefilterRejectsSliceAndMatchesUnfilteredSweep) {
+  // The acceptance slice: a seeded window of the family around the naive
+  // plan. The pre-filter must statically reject at least 30% of it, and
+  // the filtered sweep's secure set must be identical to the unfiltered
+  // (sample-everything) sweep's.
+  // Slice size and budget are CI-bounded: every candidate here leaks with
+  // severity ~11+ at 1500 sims (30+ at 4000 — see EXPERIMENTS.md), an
+  // order of magnitude over the 7.0 threshold, so the verdicts are stable
+  // goldens, not statistical expectations.
+  eval::SecondOrderSearchOptions options;
+  options.model = eval::ProbeModel::kGlitch;
+  options.begin = eval::kron2_family13_naive_index();
+  options.end = options.begin + 3;
+  options.chunk = 2;
+  options.simulations = 1500;
+  const auto filtered = eval::search_kron2_family13(options);
+  ASSERT_TRUE(filtered.complete);
+  ASSERT_EQ(filtered.evaluations.size(), 3u);
+  EXPECT_GE(filtered.lint_rejected * 10, filtered.evaluations.size() * 3)
+      << "pre-filter rejected under 30% of the slice";
+
+  auto unfiltered_options = options;
+  unfiltered_options.lint_prefilter = false;
+  const auto unfiltered = eval::search_kron2_family13(unfiltered_options);
+  ASSERT_EQ(unfiltered.evaluations.size(), filtered.evaluations.size());
+  EXPECT_EQ(unfiltered.lint_rejected, 0u);
+  EXPECT_EQ(filtered.secure_indices(), unfiltered.secure_indices());
+  // Zero false negatives on the slice: a candidate the sampler convicts
+  // must have been statically rejected, and a candidate lint let through
+  // must carry the identical sampled verdict in both sweeps.
+  for (std::size_t i = 0; i < filtered.evaluations.size(); ++i) {
+    const auto& lint_view = filtered.evaluations[i];
+    const auto& sampled = unfiltered.evaluations[i];
+    ASSERT_EQ(lint_view.index, sampled.index);
+    if (!sampled.secure) EXPECT_TRUE(lint_view.lint_rejected);
+    if (!lint_view.lint_rejected) {
+      EXPECT_EQ(lint_view.secure, sampled.secure);
+      EXPECT_EQ(lint_view.severity, sampled.severity);
+      EXPECT_EQ(lint_view.worst_probe, sampled.worst_probe);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sca
